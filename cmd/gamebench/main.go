@@ -1,0 +1,163 @@
+// Command gamebench regenerates Table 5 (QuakeSpasm-model uncapped frame
+// rates across tool configurations) and the §5.4 experiments: capped-fps
+// playability, the Zandronum-model networked-bug record/replay (-bug), and
+// the sparse-vs-full ioctl policy comparison (-policy).
+//
+// Usage:
+//
+//	gamebench [-seconds S] [-plays P]            # Table 5
+//	gamebench -bug                               # bug record/replay
+//	gamebench -policy                            # ioctl policy study
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps/game"
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/stats"
+)
+
+func main() {
+	seconds := flag.Float64("seconds", 2, "virtual play time per run (paper: 90)")
+	plays := flag.Int("plays", 3, "plays per configuration (paper: 5)")
+	bug := flag.Bool("bug", false, "run the networked stale-state bug record/replay experiment")
+	policy := flag.Bool("policy", false, "run the ioctl recording-policy comparison")
+	flag.Parse()
+
+	switch {
+	case *bug:
+		bugExperiment(*seconds)
+	case *policy:
+		policyExperiment(*seconds)
+	default:
+		table5(*seconds, *plays)
+	}
+}
+
+func table5(seconds float64, plays int) {
+	cfg := game.DefaultConfig()
+	cfg.PlayNanos = int64(seconds * float64(time.Second))
+	srv := game.DefaultServerConfig()
+
+	table := &stats.Table{Header: []string{"Setup", "Min", "25th", "Median", "75th", "Max", "Mean", "Overhead"}}
+	var nativeMean float64
+	for _, mode := range []string{"native", "tsan11", "rnd", "queue", "rnd+rec", "queue+rec"} {
+		fps := &stats.Sample{}
+		for p := 0; p < plays; p++ {
+			out := game.Play(cfg, srv, mode, uint64(p)*13+5)
+			if out.Err != nil {
+				fmt.Fprintf(os.Stderr, "%s play %d: %v\n", mode, p, out.Err)
+				os.Exit(1)
+			}
+			for _, f := range out.FPS {
+				fps.Add(f)
+			}
+		}
+		if mode == "native" {
+			nativeMean = fps.Mean()
+		}
+		over := "1.0x"
+		if nativeMean > 0 && fps.Mean() > 0 {
+			over = fmt.Sprintf("%.1fx", nativeMean/fps.Mean())
+		}
+		table.AddRow(mode,
+			fmt.Sprintf("%.0f", fps.Min()),
+			fmt.Sprintf("%.0f", fps.Quantile(0.25)),
+			fmt.Sprintf("%.0f", fps.Median()),
+			fmt.Sprintf("%.0f", fps.Quantile(0.75)),
+			fmt.Sprintf("%.0f", fps.Max()),
+			fmt.Sprintf("%.1f", fps.Mean()),
+			over)
+	}
+	fmt.Printf("Table 5 (model): uncapped fps, %d plays x %.1fs per configuration\n\n", plays, seconds)
+	fmt.Print(table.String())
+}
+
+func bugExperiment(seconds float64) {
+	cfg := game.DefaultConfig()
+	cfg.Network = true
+	cfg.PlayNanos = int64(seconds * float64(time.Second))
+	srv := game.DefaultServerConfig()
+	srv.Buggy = true
+	srv.MapChangeEvery = 10
+	srv.ExtraClients = 1
+
+	fmt.Println("Recording networked play against the buggy server (Zandronum #2380 model)...")
+	for seed := uint64(1); ; seed++ {
+		out := game.PlayOpts(cfg, srv, core.Options{
+			Strategy: demo.StrategyQueue, Seed1: seed, Seed2: seed * 7,
+			Record: true, Policy: core.PolicySparse,
+		})
+		if out.Err != nil {
+			fmt.Fprintln(os.Stderr, out.Err)
+			os.Exit(1)
+		}
+		if !game.BugManifested(out.Report.Output) {
+			fmt.Printf("  attempt %d: bug did not manifest, retrying\n", seed)
+			continue
+		}
+		d := out.Report.Demo
+		fmt.Printf("  bug manifested on attempt %d; demo is %d bytes (syscall section %d)\n",
+			seed, d.Size(), d.SectionSizes()["syscall"])
+		fmt.Println("Replaying offline (no server, no input injector)...")
+		rep := game.Replay(cfg, d, core.PolicySparse)
+		if rep.Err != nil {
+			fmt.Fprintf(os.Stderr, "replay failed: %v\n", rep.Err)
+			os.Exit(1)
+		}
+		if game.BugManifested(rep.Report.Output) {
+			fmt.Println("  bug reproduced during replay; display accepted",
+				rep.Frames, "live frames")
+		} else {
+			fmt.Println("  BUG NOT REPRODUCED — replay diverged")
+			os.Exit(1)
+		}
+		return
+	}
+}
+
+func policyExperiment(seconds float64) {
+	cfg := game.DefaultConfig()
+	cfg.PlayNanos = int64(seconds * float64(time.Second))
+	srv := game.DefaultServerConfig()
+
+	table := &stats.Table{Header: []string{"Policy", "Demo bytes", "Replay frames", "Replay status"}}
+	for _, pol := range []core.Policy{core.PolicySparse, core.PolicyFull} {
+		out := game.PlayOpts(cfg, srv, core.Options{
+			Strategy: demo.StrategyQueue, Seed1: 3, Seed2: 9,
+			Record: true, Policy: pol,
+		})
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", pol.Name, out.Err)
+			os.Exit(1)
+		}
+		rep := game.Replay(cfg, out.Report.Demo, pol)
+		status := "synchronised"
+		if rep.Err != nil {
+			status = rep.Err.Error()
+		} else if rep.Report.SoftDesync {
+			status = "soft desync"
+		}
+		table.AddRow(pol.Name,
+			fmt.Sprintf("%d", out.Report.Demo.Size()),
+			fmt.Sprintf("%d", rep.Frames),
+			status)
+	}
+	// rr refuses outright.
+	out := game.Play(cfg, srv, "rr", 3)
+	status := "ok"
+	if out.Err != nil {
+		status = out.Err.Error()
+	}
+	table.AddRow("rr(refuses ioctl)", "-", "-", status)
+	fmt.Println("Sparse-vs-full ioctl recording (§5.4 model):")
+	fmt.Println()
+	fmt.Print(table.String())
+	fmt.Println("\nSparse: small demo, live display during replay. Full: bloated")
+	fmt.Println("demo, replayed display is mocked out (0 frames). rr: out of scope.")
+}

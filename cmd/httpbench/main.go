@@ -1,0 +1,96 @@
+// Command httpbench regenerates Table 2: httpd-model throughput and race
+// rate under native, rr, tsan11, tsan11+rr, and the tsan11rec strategies
+// with and without recording — plus the §5.2 demo-size-per-request
+// accounting (-demosize).
+//
+// Usage:
+//
+//	httpbench [-requests N] [-concurrency C] [-runs R] [-noreports] [-demosize]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps/httpd"
+	"repro/internal/stats"
+)
+
+func main() {
+	requests := flag.Int("requests", 2000, "queries per run (paper: 10000)")
+	concurrency := flag.Int("concurrency", 10, "concurrent client threads")
+	runs := flag.Int("runs", 3, "runs per configuration (paper: 10)")
+	workers := flag.Int("workers", 4, "server worker threads")
+	modeList := flag.String("modes", "native,rr,tsan11,tsan11+rr,rnd,queue,rnd+rec,queue+rec", "modes")
+	noReports := flag.Bool("noreports", false, "suppress race reports (the paper's 'No reports' columns)")
+	demoSize := flag.Bool("demosize", false, "report demo size per request instead of throughput")
+	flag.Parse()
+
+	cfg := httpd.DefaultConfig()
+	cfg.Workers = *workers
+
+	if *demoSize {
+		demoSizeReport(cfg, *concurrency)
+		return
+	}
+
+	table := &stats.Table{Header: []string{"Setup", "Throughput(q/s)", "Overhead", "Races/run"}}
+	var nativeMean float64
+	for _, mode := range strings.Split(*modeList, ",") {
+		thr := &stats.Sample{}
+		races := &stats.Sample{}
+		for r := 0; r < *runs; r++ {
+			out := httpd.RunExperiment(cfg, mode, uint64(r)*31+7, !*noReports, *requests, *concurrency)
+			if out.Err != nil {
+				fmt.Fprintf(os.Stderr, "%s run %d: %v\n", mode, r, out.Err)
+				os.Exit(1)
+			}
+			if out.Load.Completed < *requests {
+				fmt.Fprintf(os.Stderr, "%s run %d: only %d/%d completed\n", mode, r, out.Load.Completed, *requests)
+			}
+			thr.Add(out.Load.Throughput())
+			races.Add(float64(out.Races()))
+		}
+		if mode == "native" {
+			nativeMean = thr.Mean()
+		}
+		overhead := "N/A"
+		if nativeMean > 0 {
+			overhead = fmt.Sprintf("%.1fx", stats.Overhead(nativeMean, thr.Mean()))
+		}
+		table.AddRow(mode, thr.Summary(0), overhead, races.Summary(1))
+	}
+	reports := "race reports enabled"
+	if *noReports {
+		reports = "no reports"
+	}
+	fmt.Printf("Table 2 (model): httpd, %d queries x %d clients, %d runs per row (%s)\n\n",
+		*requests, *concurrency, *runs, reports)
+	fmt.Print(table.String())
+}
+
+func demoSizeReport(cfg httpd.Config, concurrency int) {
+	fmt.Println("Demo size accounting (§5.2 model): bytes per request")
+	table := &stats.Table{Header: []string{"Mode", "Requests", "Demo bytes", "Bytes/request", "of which syscall"}}
+	for _, mode := range []string{"rnd+rec", "queue+rec"} {
+		for _, n := range []int{200, 1000} {
+			out := httpd.RunExperiment(cfg, mode, 11, false, n, concurrency)
+			if out.Err != nil {
+				fmt.Fprintln(os.Stderr, out.Err)
+				os.Exit(1)
+			}
+			d := out.Report.Demo
+			sizes := d.SectionSizes()
+			table.AddRow(mode, fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", d.Size()),
+				fmt.Sprintf("%.1f", float64(d.Size())/float64(n)),
+				fmt.Sprintf("%d", sizes["syscall"]))
+		}
+	}
+	fmt.Print(table.String())
+	fmt.Println("\nThe paper reports ~4.8KB/request for tsan11rec's demos and that")
+	fmt.Println("size grows linearly with request count; compare Bytes/request")
+	fmt.Println("across the two request counts.")
+}

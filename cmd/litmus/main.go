@@ -1,0 +1,83 @@
+// Command litmus regenerates Table 1: the CDSchecker benchmark comparison
+// between uncontrolled tsan11, tsan11 under the rr model, and tsan11rec's
+// random and queue strategies. For each program and mode it reports the
+// mean execution time (with standard deviation) and the percentage of runs
+// that exposed a data race.
+//
+// Usage:
+//
+//	litmus [-runs N] [-modes tsan11,tsan11+rr,rnd,queue] [-programs all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps/litmus"
+	"repro/internal/apps/modes"
+	"repro/internal/stats"
+)
+
+func main() {
+	runs := flag.Int("runs", 200, "executions per program per mode (paper: 1000)")
+	modeList := flag.String("modes", "tsan11,tsan11+rr,rnd,queue", "comma-separated mode list")
+	programs := flag.String("programs", "all", "comma-separated program list or 'all'")
+	flag.Parse()
+
+	var selected []litmus.Program
+	if *programs == "all" {
+		selected = litmus.Programs
+	} else {
+		for _, name := range strings.Split(*programs, ",") {
+			p, ok := litmus.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown program %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, p)
+		}
+	}
+	modeNames := strings.Split(*modeList, ",")
+
+	header := []string{"Test"}
+	for _, m := range modeNames {
+		header = append(header, m+" Time(ms)", m+" Rate")
+	}
+	table := &stats.Table{Header: header}
+
+	for _, p := range selected {
+		row := []string{p.Name}
+		for _, mode := range modeNames {
+			times := &stats.Sample{}
+			raced := 0
+			for r := 0; r < *runs; r++ {
+				opts, err := modes.Options(mode, uint64(r)*7919+13, true)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				res := litmus.RunOnce(p, opts)
+				if res.Err != nil {
+					fmt.Fprintf(os.Stderr, "%s/%s run %d: %v\n", p.Name, mode, r, res.Err)
+					os.Exit(1)
+				}
+				times.AddDuration(res.Duration)
+				if res.Races > 0 {
+					raced++
+				}
+			}
+			row = append(row,
+				times.Summary(2),
+				fmt.Sprintf("%.1f%%", 100*float64(raced)/float64(*runs)))
+		}
+		table.AddRow(row...)
+	}
+	fmt.Printf("Table 1 (model): CDSchecker benchmarks, %d runs per cell\n\n", *runs)
+	fmt.Print(table.String())
+	fmt.Println("\nShape expectations vs the paper: rnd exposes races the queue")
+	fmt.Println("strategy orders away on most programs; dekker-fences races ~50%")
+	fmt.Println("under every controlled strategy; ms-queue races always; the rr")
+	fmt.Println("model adds a large constant overhead.")
+}

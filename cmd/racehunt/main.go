@@ -1,0 +1,103 @@
+// Command racehunt sweeps seeds and strategies over a litmus program until
+// a data race manifests, then saves the recorded demo so the failure can
+// be replayed forever — the find-record-replay workflow the paper's
+// combination of techniques enables (§1: finding races that arise under
+// rare schedules such that the schedule leading to the race can be
+// replayed for debugging).
+//
+// Usage:
+//
+//	racehunt [-program mcs-lock] [-strategies rnd,queue,pct] [-max 10000] [-o race.demo]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps/litmus"
+	"repro/internal/core"
+	"repro/internal/demo"
+)
+
+func main() {
+	programName := flag.String("program", "mcs-lock", "litmus program to hunt in")
+	strategies := flag.String("strategies", "rnd,pct,delay,queue", "strategies to sweep")
+	maxSeeds := flag.Int("max", 10000, "seeds per strategy")
+	out := flag.String("o", "", "write the racy demo to this file")
+	verify := flag.Bool("verify", true, "replay the demo and confirm the race reproduces")
+	flag.Parse()
+
+	p, ok := litmus.ByName(*programName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown program %q; available:", *programName)
+		for _, q := range litmus.Programs {
+			fmt.Fprintf(os.Stderr, " %s", q.Name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	stratOf := map[string]demo.Strategy{
+		"rnd": demo.StrategyRandom, "queue": demo.StrategyQueue,
+		"pct": demo.StrategyPCT, "delay": demo.StrategyDelay,
+	}
+	for _, name := range strings.Split(*strategies, ",") {
+		strat, ok := stratOf[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown strategy %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("hunting with %s...\n", name)
+		attempts := 0
+		for seed := uint64(1); seed <= uint64(*maxSeeds); seed++ {
+			attempts++
+			rt, err := core.New(core.Options{
+				Strategy: strat, Seed1: seed, Seed2: seed * 2654435761,
+				Record: true, ReportRaces: true,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			rep, err := rt.Run(p.Body(rt))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if rep.RaceCount() == 0 {
+				continue
+			}
+			fmt.Printf("  race found after %d attempts (seed %d):\n", attempts, seed)
+			for _, r := range rep.Races {
+				fmt.Printf("    %v\n", r)
+			}
+			if *verify {
+				rt2, err := core.New(core.Options{Strategy: strat, Replay: rep.Demo, ReportRaces: true})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				rep2, err := rt2.Run(p.Body(rt2))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "  replay failed: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("  replay: races=%d softDesync=%v\n", rep2.RaceCount(), rep2.SoftDesync)
+			}
+			if *out != "" {
+				if err := rep.Demo.WriteFile(*out); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("  demo written to %s (%d bytes); inspect with demoinspect\n",
+					*out, rep.Demo.Size())
+			}
+			break
+		}
+		if attempts == *maxSeeds {
+			fmt.Printf("  no race in %d attempts\n", attempts)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is tsanrec: a Go reproduction of "Sparse Record and Replay
+// with Controlled Scheduling" (Lidbury & Donaldson, PLDI 2019).
+//
+// The public API lives in internal/core (Runtime, Thread, Mutex, Cond,
+// Atomic64, Var, environment syscalls); the substrates in internal/sched
+// (controlled scheduler), internal/tsan (tsan11-model race detector),
+// internal/demo (sparse record/replay), internal/env (virtual environment)
+// and internal/rrmodel (the rr baseline); and the evaluation workloads in
+// internal/apps. See README.md for the tour and EXPERIMENTS.md for the
+// paper-versus-measured comparison. The benchmarks in bench_test.go
+// regenerate every table of the paper's evaluation.
+package repro

@@ -1,0 +1,89 @@
+// Weakmemory runs the paper's Figure 1 program: a racy C++11 idiom whose
+// race only exists under weak memory — thread T2 reads y==1 but a stale
+// x==0, stores x=2 relaxed, and T3's acquire load of that store gains no
+// happens-before edge to T1, making T3's read of the non-atomic nax racy.
+// Under sequential consistency (the -sc flag, modelling plain tsan) the
+// interleaving is impossible and no race is ever reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+)
+
+func figure1(rt *core.Runtime) func(*core.Thread) {
+	return func(main *core.Thread) {
+		nax := core.NewVar(rt, "nax", 0)
+		x := main.NewAtomic64("x", 0)
+		y := main.NewAtomic64("y", 0)
+
+		t1 := main.Spawn("T1", func(t *core.Thread) {
+			nax.Write(t, 1)
+			x.Store(t, 1, core.Release) // A
+			y.Store(t, 1, core.Release) // B
+		})
+		t2 := main.Spawn("T2", func(t *core.Thread) {
+			if y.Load(t, core.Relaxed) == 1 && // C
+				x.Load(t, core.Relaxed) == 0 { // D
+				x.Store(t, 2, core.Relaxed)
+			}
+		})
+		t3 := main.Spawn("T3", func(t *core.Thread) {
+			if x.Load(t, core.Acquire) > 0 { // E
+				t.Printf("print(nax) = %d\n", nax.Read(t))
+			}
+		})
+		main.Join(t1)
+		main.Join(t2)
+		main.Join(t3)
+	}
+}
+
+func main() {
+	sc := flag.Bool("sc", false, "force sequential consistency (plain-tsan model)")
+	runs := flag.Int("runs", 500, "number of controlled-random runs")
+	flag.Parse()
+
+	raced := 0
+	for seed := uint64(0); seed < uint64(*runs); seed++ {
+		rt, err := core.New(core.Options{
+			Strategy:              demo.StrategyRandom,
+			Seed1:                 seed,
+			Seed2:                 seed*2654435761 + 1,
+			ReportRaces:           true,
+			SequentialConsistency: *sc,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep, err := rt.Run(figure1(rt))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if rep.RaceCount() > 0 {
+			if raced == 0 {
+				fmt.Printf("first racy seed %d: %v\n", seed, rep.Races[0])
+			}
+			raced++
+		}
+	}
+	model := "C++11 (tsan11 model)"
+	if *sc {
+		model = "sequential consistency (tsan model)"
+	}
+	fmt.Printf("%s: race on nax in %d/%d runs\n", model, raced, *runs)
+	if *sc && raced > 0 {
+		fmt.Println("ERROR: the Figure 1 race must be impossible under SC")
+		os.Exit(1)
+	}
+	if !*sc && raced == 0 {
+		fmt.Println("ERROR: the weak-memory race never manifested")
+		os.Exit(1)
+	}
+}

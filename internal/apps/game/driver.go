@@ -1,0 +1,88 @@
+package game
+
+import (
+	"time"
+
+	"repro/internal/apps/modes"
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/env"
+)
+
+// Outcome of a play session.
+type Outcome struct {
+	Report *core.Report
+	FPS    []float64
+	Frames int64 // frames the live display accepted
+	Err    error
+}
+
+// Play runs the game under the named mode with the input injector (and,
+// when cfg.Network, the multiplayer server) live in the external world.
+func Play(cfg Config, srv ServerConfig, mode string, seed uint64) Outcome {
+	opts, err := modes.Options(mode, seed, false)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	return playWith(cfg, srv, opts)
+}
+
+// PlayOpts runs the game with explicit core options (used by the policy
+// experiments, which vary the sparse recording configuration).
+func PlayOpts(cfg Config, srv ServerConfig, opts core.Options) Outcome {
+	return playWith(cfg, srv, opts)
+}
+
+func playWith(cfg Config, srv ServerConfig, opts core.Options) Outcome {
+	world := env.NewWorld(opts.Seed1 ^ opts.Seed2)
+	opts.World = world
+	if opts.WallTimeout == 0 {
+		opts.WallTimeout = 120 * time.Second
+	}
+	if opts.MaxTicks == 0 {
+		opts.MaxTicks = 100_000_000
+	}
+	stopInput := StartInputInjector(world)
+	defer stopInput()
+	if cfg.Network {
+		stopServer := StartServer(world, srv)
+		defer stopServer()
+	}
+	rt, err := core.New(opts)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	rep, err := rt.Run(Client(rt, cfg))
+	out := Outcome{Report: rep, Err: err}
+	if rep != nil {
+		out.FPS = FPSSamples(rep.Output)
+	}
+	out.Frames = world.DisplayFrames()
+	return out
+}
+
+// Replay re-runs a recorded session offline: no injector, no server — but
+// a live display driver, which the sparse policy's un-recorded ioctls keep
+// exercising, so the replayed gameplay is "displayed on screen" (§5.4).
+// Returns the number of frames the live display accepted during replay.
+func Replay(cfg Config, d *demo.Demo, policy core.Policy) Outcome {
+	world := env.NewWorld(1)
+	rt, err := core.New(core.Options{
+		Strategy:    d.Strategy,
+		Replay:      d,
+		World:       world,
+		Policy:      policy,
+		WallTimeout: 120 * time.Second,
+		MaxTicks:    100_000_000,
+	})
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	rep, err := rt.Run(Client(rt, cfg))
+	out := Outcome{Report: rep, Err: err}
+	if rep != nil {
+		out.FPS = FPSSamples(rep.Output)
+	}
+	out.Frames = world.DisplayFrames()
+	return out
+}

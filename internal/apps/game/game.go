@@ -1,0 +1,277 @@
+// Package game models the paper's SDL case studies (§5.4): a first-person
+// shooter client in the style of Zandronum/QuakeSpasm with
+//
+//   - a game-logic thread running the frame loop (clock reads, input
+//     processing, network updates, entity simulation, frame pacing),
+//   - a render thread that talks to the opaque display driver through
+//     ioctl (the traffic rr cannot record and the sparse policy leaves
+//     live),
+//   - an audio thread streaming PCM chunks through ioctl in a tight loop
+//     (the "less critical thread" whose eager scheduling starves the game
+//     under the random strategy), and
+//   - optional internet multi-player against an external game server,
+//     including a re-creation of Zandronum bug #2380: stale game state
+//     sent by the server during a map change.
+package game
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/env"
+)
+
+// Well-known ports of the external world.
+const (
+	// InputPort is the X11-model input event server the game connects to.
+	InputPort = 6000
+	// ServerPort is the multiplayer game server.
+	ServerPort = 5029
+)
+
+// Config parameterises a play session.
+type Config struct {
+	// PlayNanos is the session length in virtual clock time.
+	PlayNanos int64
+	// CapFPS enforces the 60 fps frame cap; uncapped runs measure raw
+	// frame throughput (Table 5).
+	CapFPS bool
+	// Network joins the external server (the §5.4 bug experiment).
+	Network bool
+	// Entities scales per-frame simulation work.
+	Entities int
+	// FrameBufferBytes is the payload each GLSwap carries; recording
+	// policies that capture ioctl pay for it in the demo.
+	FrameBufferBytes int
+}
+
+// DefaultConfig is a short playable session.
+func DefaultConfig() Config {
+	return Config{
+		PlayNanos:        int64(300 * time.Millisecond),
+		CapFPS:           false,
+		Entities:         64,
+		FrameBufferBytes: 2048,
+	}
+}
+
+// Client returns the game main function.
+func Client(rt *core.Runtime, cfg Config) func(*core.Thread) {
+	return func(main *core.Thread) {
+		quit := main.NewAtomic64("game.quit", 0)
+
+		// Display initialisation (the paper lets SDL initialise before
+		// instrumented play begins; here init is simply the first thing
+		// the render thread does against the live driver).
+		gpuFD, errno := main.Open(env.DisplayPath)
+		if errno != env.OK {
+			panic("game: open display: " + errno.String())
+		}
+		handleBuf, _, errno := main.Ioctl(gpuFD, env.IoctlGLInit, nil)
+		if errno != env.OK {
+			// rr-model refuses device ioctls: the game is out of scope.
+			panic("game: display init failed: " + errno.String())
+		}
+		handle := append([]byte(nil), handleBuf...)
+
+		// Render queue: game thread pushes frame tokens, render thread
+		// swaps them to the display.
+		rmu := rt.NewMutex("game.render.mu")
+		rcv := rt.NewCond("game.render.cv", rmu)
+		pending := core.NewVar(rt, "game.render.pending", 0)
+
+		render := main.Spawn("render", func(t *core.Thread) {
+			fb := make([]byte, 8+cfg.FrameBufferBytes)
+			copy(fb, handle)
+			for {
+				rmu.Lock(t)
+				for pending.Read(t) == 0 {
+					if quit.Load(t, core.Acquire) != 0 {
+						rmu.Unlock(t)
+						return
+					}
+					rcv.Wait(t)
+				}
+				pending.Update(t, func(p int) int { return p - 1 })
+				rmu.Unlock(t)
+				// Paint the framebuffer (invisible) and swap (ioctl).
+				for i := 8; i < len(fb); i++ {
+					fb[i] = byte(i * 31)
+				}
+				if _, _, errno := t.Ioctl(gpuFD, env.IoctlGLSwap, fb); errno != env.OK {
+					t.Printf("render error: %s\n", errno)
+					return
+				}
+			}
+		})
+
+		audio := main.Spawn("audio", func(t *core.Thread) {
+			pcm := make([]byte, 128)
+			for quit.Load(t, core.Acquire) == 0 {
+				if _, _, errno := t.Ioctl(gpuFD, env.IoctlAudio, pcm); errno != env.OK {
+					return
+				}
+			}
+		})
+
+		// Input connection (X11 model).
+		inFD := main.Socket()
+		inputConnected := main.Connect(inFD, InputPort) == env.OK
+
+		// Network connection (multiplayer).
+		netFD := -1
+		var netBuf []byte
+		currentMap := 1
+		if cfg.Network {
+			netFD = main.Socket()
+			if e := main.Connect(netFD, ServerPort); e != env.OK {
+				panic("game: connect server: " + e.String())
+			}
+			main.Send(netFD, []byte("JOIN\n"))
+		}
+
+		// Game state.
+		playerX, playerY := 160.0, 120.0
+		monsters := cfg.Entities
+		frames := 0
+		lastFPSMark := int64(0)
+		fpsFrames := 0
+
+		start := main.ClockGettime()
+		for {
+			now := main.ClockGettime()
+			if now-start >= cfg.PlayNanos {
+				break
+			}
+
+			// Input events.
+			if inputConnected {
+				if ev, errno := main.Recv(inFD, 16); errno == env.OK && len(ev) > 0 {
+					for _, k := range ev {
+						switch k % 4 {
+						case 0:
+							playerX++
+						case 1:
+							playerX--
+						case 2:
+							playerY++
+						case 3:
+							playerY--
+						}
+					}
+				}
+			}
+
+			// Network update.
+			if netFD >= 0 {
+				chunk, errno := main.Recv(netFD, 256)
+				if errno == env.OK && len(chunk) > 0 {
+					netBuf = append(netBuf, chunk...)
+					for {
+						nl := strings.IndexByte(string(netBuf), '\n')
+						if nl < 0 {
+							break
+						}
+						line := string(netBuf[:nl])
+						netBuf = netBuf[nl+1:]
+						currentMap, monsters = applyPacket(main, line, currentMap, monsters)
+					}
+				}
+			}
+
+			// Entity simulation: invisible compute.
+			acc := 0.0
+			for e := 0; e < cfg.Entities; e++ {
+				dx := playerX - float64(e*7%320)
+				dy := playerY - float64(e*13%240)
+				acc += dx*dx + dy*dy
+			}
+			_ = acc
+
+			// Hand the frame to the renderer.
+			rmu.Lock(main)
+			pending.Update(main, func(p int) int { return p + 1 })
+			rcv.Signal(main)
+			rmu.Unlock(main)
+			frames++
+			fpsFrames++
+
+			// FPS accounting every 100 virtual milliseconds.
+			if now-lastFPSMark >= int64(100*time.Millisecond) {
+				if lastFPSMark != 0 {
+					fps := float64(fpsFrames) * float64(time.Second) / float64(now-lastFPSMark)
+					main.Printf("fps %.0f\n", fps)
+				}
+				lastFPSMark = now
+				fpsFrames = 0
+			}
+
+			if cfg.CapFPS {
+				// 60 fps pacing: nap the remainder of the frame slot.
+				frameEnd := start + int64(frames)*int64(time.Second)/60
+				if slack := frameEnd - main.ClockGettime(); slack > 0 {
+					main.Nap(time.Duration(slack))
+				}
+			}
+		}
+
+		quit.Store(main, 1, core.Release)
+		rmu.Lock(main)
+		rcv.Broadcast(main)
+		rmu.Unlock(main)
+		main.Join(render)
+		main.Join(audio)
+		if netFD >= 0 {
+			main.Send(netFD, []byte("QUIT\n"))
+			main.Close(netFD)
+		}
+		if inputConnected {
+			main.Close(inFD)
+		}
+		main.Close(gpuFD)
+		main.Printf("frames %d monsters %d\n", frames, monsters)
+	}
+}
+
+// applyPacket processes one server line, returning the updated map id and
+// monster count. A STATE packet for the wrong map is Zandronum bug #2380:
+// the client applies it anyway and its invariant check fires.
+func applyPacket(t *core.Thread, line string, currentMap, monsters int) (int, int) {
+	switch {
+	case strings.HasPrefix(line, "MAP "):
+		if id, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "MAP "))); err == nil {
+			return id, monsters
+		}
+	case strings.HasPrefix(line, "STATE "):
+		fields := strings.Fields(line)
+		if len(fields) == 3 {
+			mapID, _ := strconv.Atoi(fields[1])
+			count, _ := strconv.Atoi(fields[2])
+			if mapID != currentMap {
+				t.Printf("BUG: stale state for map %d while on map %d\n", mapID, currentMap)
+			}
+			return currentMap, count
+		}
+	}
+	return currentMap, monsters
+}
+
+// FPSSamples parses the "fps N" lines out of a report's output.
+func FPSSamples(output []byte) []float64 {
+	var out []float64
+	for _, line := range strings.Split(string(output), "\n") {
+		if strings.HasPrefix(line, "fps ") {
+			if v, err := strconv.ParseFloat(strings.TrimPrefix(line, "fps "), 64); err == nil {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// BugManifested reports whether the stale-state bug fired in the output.
+func BugManifested(output []byte) bool {
+	return strings.Contains(string(output), "BUG: stale state")
+}

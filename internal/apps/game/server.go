@@ -1,0 +1,150 @@
+package game
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/env"
+)
+
+// The external world of the game: an input-event injector (the X11 server)
+// and the multiplayer game server, both ordinary goroutines whose timing is
+// genuine nondeterminism captured only through the recorded syscalls.
+
+// StartInputInjector runs an external listener on InputPort that feeds
+// random keypresses to every client that connects. Returns a stop func.
+func StartInputInjector(w *env.World) func() {
+	l := w.ExternalListen(InputPort)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			conn, err := l.Accept(200 * time.Millisecond)
+			if err != nil {
+				if err == env.ErrWorldClosed {
+					return
+				}
+				continue
+			}
+			go func(c *env.ExtConn) {
+				defer c.Close()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					key := byte(w.ExternalRand() % 251)
+					if err := c.Send([]byte{key}); err != nil {
+						return
+					}
+					time.Sleep(time.Duration(500+w.ExternalRand()%2000) * time.Microsecond)
+				}
+			}(conn)
+		}
+	}()
+	return func() { close(stop) }
+}
+
+// ServerConfig parameterises the external multiplayer server.
+type ServerConfig struct {
+	// StatePeriod is the interval between STATE broadcasts.
+	StatePeriod time.Duration
+	// MapChangeEvery changes the map after this many STATE packets.
+	MapChangeEvery int
+	// Buggy reproduces Zandronum bug #2380: on a map change the server
+	// sends one more STATE packet for the old map after announcing the
+	// new one.
+	Buggy bool
+	// ExtraClients models additional non-recorded subscribers: each adds
+	// broadcast work and jitter to the server loop.
+	ExtraClients int
+}
+
+// DefaultServerConfig broadcasts every 2ms and changes map every 20
+// packets.
+func DefaultServerConfig() ServerConfig {
+	return ServerConfig{StatePeriod: 2 * time.Millisecond, MapChangeEvery: 20}
+}
+
+// StartServer runs the external game server on ServerPort. Each client
+// that JOINs receives periodic STATE packets and MAP announcements.
+// Returns a stop func.
+func StartServer(w *env.World, cfg ServerConfig) func() {
+	l := w.ExternalListen(ServerPort)
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			conn, err := l.Accept(200 * time.Millisecond)
+			if err != nil {
+				if err == env.ErrWorldClosed {
+					return
+				}
+				continue
+			}
+			go serveClient(w, conn, cfg, stop)
+		}
+	}()
+	return func() { close(stop) }
+}
+
+func serveClient(w *env.World, c *env.ExtConn, cfg ServerConfig, stop chan struct{}) {
+	defer c.Close()
+	// Wait for JOIN.
+	if _, err := c.Recv(64, 2*time.Second); err != nil {
+		return
+	}
+	mapID := 1
+	monsters := 60
+	sinceChange := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		monsters += int(w.ExternalRand()%5) - 2
+		if monsters < 1 {
+			monsters = 1
+		}
+		for extra := 0; extra < cfg.ExtraClients; extra++ {
+			// Broadcast to the other subscribers: work + jitter only, as
+			// their traffic never reaches the recorded client.
+			time.Sleep(time.Duration(w.ExternalRand()%200) * time.Microsecond)
+		}
+		if err := c.Send([]byte(fmt.Sprintf("STATE %d %d\n", mapID, monsters))); err != nil {
+			return
+		}
+		sinceChange++
+		if cfg.MapChangeEvery > 0 && sinceChange >= cfg.MapChangeEvery {
+			oldMap := mapID
+			mapID++
+			sinceChange = 0
+			if err := c.Send([]byte(fmt.Sprintf("MAP %d\n", mapID))); err != nil {
+				return
+			}
+			if cfg.Buggy {
+				// Bug #2380: stale state for the previous map escapes
+				// after the map change announcement.
+				if err := c.Send([]byte(fmt.Sprintf("STATE %d %d\n", oldMap, monsters))); err != nil {
+					return
+				}
+			}
+		}
+		time.Sleep(cfg.StatePeriod + time.Duration(w.ExternalRand()%1000)*time.Microsecond)
+	}
+}
+
+// The paper's bug setup uses a server and two clients, one recording. The
+// second (non-recording) client lives entirely in the external world, so it
+// is modelled inside the server: ExtraClients adds per-packet broadcast
+// work and timing jitter as additional subscribers would.

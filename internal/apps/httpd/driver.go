@@ -1,0 +1,92 @@
+package httpd
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/modes"
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/env"
+)
+
+// Outcome is the result of one server-under-load execution.
+type Outcome struct {
+	Load   LoadResult
+	Report *core.Report
+	Err    error
+}
+
+// Races returns the number of distinct races detected.
+func (o Outcome) Races() int {
+	if o.Report == nil {
+		return 0
+	}
+	return o.Report.RaceCount()
+}
+
+// DemoBytes returns the encoded demo size (0 if not recording).
+func (o Outcome) DemoBytes() int {
+	if o.Report == nil || o.Report.Demo == nil {
+		return 0
+	}
+	return o.Report.Demo.Size()
+}
+
+// RunExperiment runs the server under the named mode while the ab-model
+// load generator issues `requests` across `concurrency` external clients,
+// then delivers SIGTERM and waits for the server to drain — the Table 2
+// measurement procedure.
+func RunExperiment(cfg Config, mode string, seed uint64, reportRaces bool, requests, concurrency int) Outcome {
+	opts, err := modes.Options(mode, seed, reportRaces)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	world := env.NewWorld(seed)
+	opts.World = world
+	opts.WallTimeout = 120 * time.Second
+	opts.MaxTicks = 200_000_000
+	rt, err := core.New(opts)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+
+	type runOut struct {
+		rep *core.Report
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		rep, err := rt.Run(Server(rt, cfg))
+		done <- runOut{rep, err}
+	}()
+
+	load := RunLoad(world, cfg.Port, requests, concurrency, 20*time.Second)
+	world.Kill(SigTerm)
+
+	select {
+	case out := <-done:
+		return Outcome{Load: load, Report: out.rep, Err: out.err}
+	case <-time.After(150 * time.Second):
+		return Outcome{Load: load, Err: fmt.Errorf("httpd: server did not drain after SIGTERM")}
+	}
+}
+
+// Replay re-executes a recorded server run offline: no load generator, no
+// live network — every recorded syscall result comes from the demo, the
+// debugging workflow §2 motivates ("repeatedly replay the execution
+// without having to connect to a real server").
+func Replay(cfg Config, d *demo.Demo, reportRaces bool) Outcome {
+	rt, err := core.New(core.Options{
+		Strategy:    d.Strategy,
+		Replay:      d,
+		ReportRaces: reportRaces,
+		WallTimeout: 120 * time.Second,
+		MaxTicks:    200_000_000,
+	})
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	rep, err := rt.Run(Server(rt, cfg))
+	return Outcome{Report: rep, Err: err}
+}

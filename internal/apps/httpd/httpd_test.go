@@ -1,0 +1,93 @@
+package httpd
+
+import (
+	"testing"
+)
+
+func small() Config { return Config{Port: 8080, Workers: 3, StatsCells: 4} }
+
+func TestServerServesLoad(t *testing.T) {
+	for _, mode := range []string{"native", "tsan11", "rnd", "queue"} {
+		out := RunExperiment(small(), mode, 7, true, 40, 4)
+		if out.Err != nil {
+			t.Fatalf("%s: %v", mode, out.Err)
+		}
+		if out.Load.Completed != 40 {
+			t.Errorf("%s: completed %d/40 (errors %d)", mode, out.Load.Completed, out.Load.Errors)
+		}
+	}
+}
+
+func TestServerRacesDetected(t *testing.T) {
+	// The scoreboard counters are unsynchronised; under load at least one
+	// configuration/seed must observe the race.
+	found := false
+	for seed := uint64(0); seed < 3 && !found; seed++ {
+		out := RunExperiment(small(), "queue", seed, true, 60, 6)
+		if out.Err != nil {
+			t.Fatalf("queue: %v", out.Err)
+		}
+		found = out.Races() > 0
+	}
+	if !found {
+		t.Error("stats-counter race never detected")
+	}
+}
+
+func TestRecordThenOfflineReplay(t *testing.T) {
+	for _, mode := range []string{"rnd+rec", "queue+rec"} {
+		cfg := small()
+		rec := RunExperiment(cfg, mode, 11, true, 30, 3)
+		if rec.Err != nil {
+			t.Fatalf("%s record: %v", mode, rec.Err)
+		}
+		if rec.Load.Completed != 30 {
+			t.Fatalf("%s record: completed %d/30", mode, rec.Load.Completed)
+		}
+		if rec.Report.Demo == nil {
+			t.Fatalf("%s: no demo", mode)
+		}
+		rep := Replay(cfg, rec.Report.Demo, true)
+		if rep.Err != nil {
+			t.Fatalf("%s replay: %v", mode, rep.Err)
+		}
+		if rep.Report.SoftDesync {
+			t.Errorf("%s replay soft-desynchronised", mode)
+		}
+		if rep.Races() != rec.Races() {
+			t.Errorf("%s replay races %d != recorded %d", mode, rep.Races(), rec.Races())
+		}
+	}
+}
+
+func TestDemoSizeGrowsWithRequests(t *testing.T) {
+	cfg := small()
+	small := RunExperiment(cfg, "queue+rec", 3, false, 10, 2)
+	if small.Err != nil {
+		t.Fatal(small.Err)
+	}
+	big := RunExperiment(cfg, "queue+rec", 3, false, 40, 2)
+	if big.Err != nil {
+		t.Fatal(big.Err)
+	}
+	if big.DemoBytes() <= small.DemoBytes() {
+		t.Errorf("demo did not grow with load: %d (40 req) vs %d (10 req)",
+			big.DemoBytes(), small.DemoBytes())
+	}
+}
+
+func TestReplayWrongProgramDesyncs(t *testing.T) {
+	cfg := small()
+	rec := RunExperiment(cfg, "queue+rec", 5, false, 10, 2)
+	if rec.Err != nil {
+		t.Fatal(rec.Err)
+	}
+	// Replaying with a different worker count diverges from the recorded
+	// constraints and must be reported, not silently accepted.
+	altered := cfg
+	altered.Workers = 1
+	rep := Replay(altered, rec.Report.Demo, false)
+	if rep.Err == nil && !rep.Report.SoftDesync {
+		t.Error("replay of a different program neither hard- nor soft-desynchronised")
+	}
+}

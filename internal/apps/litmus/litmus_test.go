@@ -1,0 +1,117 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/internal/apps/modes"
+	"repro/internal/core"
+	"repro/internal/demo"
+)
+
+func TestAllProgramsRunInAllModes(t *testing.T) {
+	for _, p := range Programs {
+		for _, mode := range []string{"native", "tsan11", "rnd", "queue", "pct", "tsan11+rr"} {
+			opts, err := modes.Options(mode, 42, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := RunOnce(p, opts)
+			if res.Err != nil {
+				t.Errorf("%s/%s: %v", p.Name, mode, res.Err)
+			}
+		}
+	}
+}
+
+func rate(t *testing.T, p Program, mode string, runs int) float64 {
+	t.Helper()
+	raced := 0
+	for seed := 0; seed < runs; seed++ {
+		opts, err := modes.Options(mode, uint64(seed)*7919+13, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunOnce(p, opts)
+		if res.Err != nil {
+			t.Fatalf("%s/%s seed %d: %v", p.Name, mode, seed, res.Err)
+		}
+		if res.Races > 0 {
+			raced++
+		}
+	}
+	return float64(raced) / float64(runs)
+}
+
+// TestMSQueueRacesAlways reproduces the 100% row of Table 1.
+func TestMSQueueRacesAlways(t *testing.T) {
+	p, _ := ByName("ms-queue")
+	for _, mode := range []string{"rnd", "queue"} {
+		if r := rate(t, p, mode, 10); r < 0.99 {
+			t.Errorf("ms-queue under %s: race rate %.2f, want ~1.0", mode, r)
+		}
+	}
+}
+
+// TestRandomFindsMoreThanQueue reproduces Table 1's headline shape: the
+// random strategy exposes races that the FCFS queue strategy orders away
+// on most programs.
+func TestRandomFindsMoreThanQueue(t *testing.T) {
+	const runs = 60
+	moreForRnd := 0
+	for _, name := range []string{"barrier", "linuxrwlocks", "mcs-lock", "mpmc-queue"} {
+		p, _ := ByName(name)
+		rnd := rate(t, p, "rnd", runs)
+		q := rate(t, p, "queue", runs)
+		t.Logf("%s: rnd %.2f queue %.2f", name, rnd, q)
+		if rnd > q {
+			moreForRnd++
+		}
+	}
+	if moreForRnd < 3 {
+		t.Errorf("random strategy beat queue on only %d/4 programs", moreForRnd)
+	}
+}
+
+// TestDekkerRacesAcrossStrategies reproduces dekker-fences' distinctive
+// row: around half of executions race under every controlled strategy,
+// because the stale-read draws, not the schedule, decide the outcome.
+func TestDekkerRacesAcrossStrategies(t *testing.T) {
+	p, _ := ByName("dekker-fences")
+	for _, mode := range []string{"rnd", "queue"} {
+		r := rate(t, p, mode, 60)
+		if r < 0.15 || r > 0.95 {
+			t.Errorf("dekker-fences under %s: race rate %.2f, want mid-range", mode, r)
+		}
+	}
+}
+
+// TestReplayReproducesLitmusRace: a recorded racy execution replays with
+// the identical race verdict — the tool's core promise.
+func TestReplayReproducesLitmusRace(t *testing.T) {
+	p, _ := ByName("dekker-fences")
+	for seed := uint64(0); seed < 30; seed++ {
+		recOpts := core.Options{Strategy: demo.StrategyRandom, Seed1: seed, Seed2: seed ^ 99, Record: true, ReportRaces: true}
+		rt, err := core.New(recOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := rt.Run(p.Body(rt))
+		if err != nil {
+			t.Fatalf("record: %v", err)
+		}
+		rt2, err := core.New(core.Options{Strategy: demo.StrategyRandom, Replay: rep.Demo, ReportRaces: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep2, err := rt2.Run(p.Body(rt2))
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if rep2.RaceCount() != rep.RaceCount() {
+			t.Fatalf("seed %d: replay races %d != recorded %d", seed, rep2.RaceCount(), rep.RaceCount())
+		}
+		if rep2.SoftDesync {
+			t.Fatalf("seed %d: soft desync", seed)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package parsec
+
+import (
+	"testing"
+
+	"repro/internal/apps/modes"
+	"repro/internal/core"
+	"repro/internal/demo"
+)
+
+func TestKernelsRunInAllModes(t *testing.T) {
+	for _, b := range Benchmarks {
+		for _, mode := range []string{"native", "tsan11", "rnd", "queue", "tsan11+rr"} {
+			opts, err := modes.Options(mode, 9, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, rep, err := RunOnce(b, opts, 4, 1)
+			if err != nil {
+				t.Errorf("%s/%s: %v", b.Name, mode, err)
+				continue
+			}
+			if rep.Err != nil {
+				t.Errorf("%s/%s: report error %v", b.Name, mode, rep.Err)
+			}
+		}
+	}
+}
+
+func TestKernelsAreRaceFree(t *testing.T) {
+	// The kernels are correctly synchronised; the detector must agree
+	// (false positives here would poison the Table 3 overhead story).
+	for _, b := range Benchmarks {
+		opts, _ := modes.Options("rnd", 21, true)
+		_, rep, err := RunOnce(b, opts, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if rep.RaceCount() != 0 {
+			t.Errorf("%s: unexpected races: %v", b.Name, rep.Races)
+		}
+	}
+}
+
+func TestKernelRecordReplay(t *testing.T) {
+	for _, b := range Benchmarks {
+		opts, _ := modes.Options("queue+rec", 5, false)
+		_, rep, err := RunOnce(b, opts, 3, 1)
+		if err != nil {
+			t.Fatalf("%s record: %v", b.Name, err)
+		}
+		_, rep2, err := RunOnce(b, core.Options{
+			Strategy: demo.StrategyQueue,
+			Replay:   rep.Demo,
+		}, 3, 1)
+		if err != nil {
+			t.Fatalf("%s replay: %v", b.Name, err)
+		}
+		if rep2.SoftDesync {
+			t.Errorf("%s: replay soft-desynchronised", b.Name)
+		}
+		if rep2.Ticks != rep.Ticks {
+			t.Errorf("%s: replay ticks %d != recorded %d", b.Name, rep2.Ticks, rep.Ticks)
+		}
+	}
+}

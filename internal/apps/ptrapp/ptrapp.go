@@ -1,0 +1,124 @@
+// Package ptrapp models the SQLite/SpiderMonkey limitation of §5.5:
+// a program whose behaviour depends on memory layout. It builds an ordered
+// set keyed by pointer values (simulated heap addresses from the runtime's
+// arena) and processes its elements in address order; with the default
+// randomised allocator, the iteration order — and hence the program's
+// visible-operation sequence — differs between record and replay, so the
+// sparse replay desynchronises. The deterministic-allocator option is the
+// paper's suggested mitigation ("replace default memory allocation with a
+// deterministic memory allocator") and makes the same program replayable.
+package ptrapp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/env"
+)
+
+// Config parameterises the workload.
+type Config struct {
+	// Objects is the number of heap objects inserted into the
+	// pointer-keyed set.
+	Objects int
+	// Workers process the set concurrently.
+	Workers int
+}
+
+// DefaultConfig allocates 32 objects across 2 workers.
+func DefaultConfig() Config { return Config{Objects: 32, Workers: 2} }
+
+// Program returns the main function: allocate objects, order them by
+// address, then have workers process them over the virtual network-like
+// pipe so the processing ORDER becomes recorded nondeterminism.
+func Program(rt *core.Runtime, cfg Config) func(*core.Thread) {
+	return func(main *core.Thread) {
+		type obj struct {
+			addr uint64
+			id   int
+		}
+		objs := make([]obj, cfg.Objects)
+		for i := range objs {
+			objs[i] = obj{addr: rt.Alloc(64), id: i}
+		}
+		// The ordered container of pointers: iteration follows addresses.
+		sort.Slice(objs, func(i, j int) bool { return objs[i].addr < objs[j].addr })
+
+		// Feed ids through an IPC pipe in address order; the pipe is a
+		// recorded nondeterminism source, so a replay whose layout sorts
+		// differently issues different writes and hard-desynchronises.
+		pr, pw := main.Pipe()
+		mu := rt.NewMutex("ptrapp.mu")
+		sum := core.NewVar(rt, "ptrapp.sum", 0)
+
+		var hs []*core.Handle
+		for w := 0; w < cfg.Workers; w++ {
+			hs = append(hs, main.Spawn(fmt.Sprintf("ptr-%d", w), func(t *core.Thread) {
+				for {
+					data, errno := t.Read(pr, 1)
+					if errno == env.EAGAIN {
+						t.Yield()
+						continue
+					}
+					if errno != env.OK || len(data) == 0 {
+						return // EOF
+					}
+					mu.Lock(t)
+					sum.Update(t, func(s int) int { return s + int(data[0]) })
+					mu.Unlock(t)
+				}
+			}))
+		}
+		for _, o := range objs {
+			main.Write(pw, []byte{byte(o.id)})
+			main.Printf("visit %d\n", o.id)
+		}
+		main.Close(pw)
+		for _, h := range hs {
+			main.Join(h)
+		}
+		main.Close(pr)
+		main.Printf("sum %d\n", sum.Read(main))
+	}
+}
+
+// Outcome of a record or replay run.
+type Outcome struct {
+	Report *core.Report
+	Err    error
+}
+
+// Record runs the program with recording under the queue strategy.
+func Record(cfg Config, seed uint64, deterministicAlloc bool) Outcome {
+	rt, err := core.New(core.Options{
+		Strategy:           demo.StrategyQueue,
+		Seed1:              seed,
+		Seed2:              seed ^ 0xabcdef,
+		Record:             true,
+		DeterministicAlloc: deterministicAlloc,
+		WallTimeout:        30 * time.Second,
+	})
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	rep, err := rt.Run(Program(rt, cfg))
+	return Outcome{Report: rep, Err: err}
+}
+
+// Replay replays a recorded demo.
+func Replay(cfg Config, d *demo.Demo, deterministicAlloc bool) Outcome {
+	rt, err := core.New(core.Options{
+		Strategy:           demo.StrategyQueue,
+		Replay:             d,
+		DeterministicAlloc: deterministicAlloc,
+		WallTimeout:        30 * time.Second,
+	})
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	rep, err := rt.Run(Program(rt, cfg))
+	return Outcome{Report: rep, Err: err}
+}

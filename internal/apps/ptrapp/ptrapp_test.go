@@ -1,0 +1,54 @@
+package ptrapp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/demo"
+)
+
+// TestRandomLayoutDesyncsReplay reproduces §5.5: replay "rapidly
+// desynchronises due to memory layout nondeterminism causing conditionals
+// that rely on the values of pointers to evaluate differently".
+func TestRandomLayoutDesyncsReplay(t *testing.T) {
+	cfg := DefaultConfig()
+	desynced := 0
+	const trials = 5
+	for seed := uint64(1); seed <= trials; seed++ {
+		rec := Record(cfg, seed, false)
+		if rec.Err != nil {
+			t.Fatalf("record: %v", rec.Err)
+		}
+		rep := Replay(cfg, rec.Report.Demo, false)
+		var de *demo.DesyncError
+		if errors.As(rep.Err, &de) || (rep.Report != nil && rep.Report.SoftDesync) {
+			desynced++
+		}
+	}
+	if desynced == 0 {
+		t.Errorf("no desynchronisation across %d trials with randomised layout", trials)
+	}
+}
+
+// TestDeterministicAllocatorFixesReplay verifies the paper's suggested
+// mitigation: with a deterministic allocator the same program replays
+// faithfully.
+func TestDeterministicAllocatorFixesReplay(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := uint64(1); seed <= 5; seed++ {
+		rec := Record(cfg, seed, true)
+		if rec.Err != nil {
+			t.Fatalf("record: %v", rec.Err)
+		}
+		rep := Replay(cfg, rec.Report.Demo, true)
+		if rep.Err != nil {
+			t.Fatalf("seed %d: replay failed: %v", seed, rep.Err)
+		}
+		if rep.Report.SoftDesync {
+			t.Errorf("seed %d: soft desync despite deterministic allocator", seed)
+		}
+		if string(rep.Report.Output) != string(rec.Report.Output) {
+			t.Errorf("seed %d: output mismatch", seed)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+// Package weakmem is a C++11 memory-model conformance suite over the
+// classic litmus shapes (store buffering, message passing, load buffering,
+// coherence, write-to-read causality, IRIW). Each test runs a small
+// program many times under controlled random scheduling and classifies the
+// final outcome; the suite asserts that outcomes the model should allow
+// are observed and outcomes it must forbid never are — both under the
+// tsan11 C++11 semantics and under the plain-tsan sequential-consistency
+// ablation.
+//
+// This pins down exactly which fragment of the memory model the
+// reproduction implements (and documents the deliberate conservatisms,
+// e.g. no genuine load buffering, which requires speculation no
+// history-based simulator exhibits).
+package weakmem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+)
+
+// Outcome is a program's observable final state rendered as a stable
+// string, e.g. "r1=0 r2=1".
+type Outcome = string
+
+// Test is one litmus shape.
+type Test struct {
+	Name string
+	// Run executes the program once and returns the outcome.
+	Run func(rt *core.Runtime) (func(*core.Thread), func() Outcome)
+	// AllowedWeak lists outcomes permitted under C++11 that SC forbids.
+	AllowedWeak []Outcome
+	// Forbidden lists outcomes no execution may produce under either
+	// model (coherence or causality violations).
+	Forbidden []Outcome
+}
+
+// Tests is the conformance suite.
+var Tests = []Test{storeBuffering(), messagePassing(), loadBuffering(), coherenceRR(), wrc(), iriw()}
+
+// ByName returns the named test.
+func ByName(name string) (Test, bool) {
+	for _, tst := range Tests {
+		if tst.Name == name {
+			return tst, true
+		}
+	}
+	return Test{}, false
+}
+
+// Explore runs the test `runs` times with distinct seeds and returns the
+// set of observed outcomes with counts.
+func Explore(tst Test, runs int, sc bool) (map[Outcome]int, error) {
+	seen := make(map[Outcome]int)
+	for seed := 0; seed < runs; seed++ {
+		rt, err := core.New(core.Options{
+			Strategy:              demo.StrategyRandom,
+			Seed1:                 uint64(seed)*2654435761 + 1,
+			Seed2:                 uint64(seed) ^ 0x9e37,
+			SequentialConsistency: sc,
+			MaxTicks:              100_000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		body, outcome := tst.Run(rt)
+		if _, err := rt.Run(body); err != nil {
+			return nil, fmt.Errorf("%s seed %d: %w", tst.Name, seed, err)
+		}
+		seen[outcome()]++
+	}
+	return seen, nil
+}
+
+// Render formats an outcome set for diagnostics.
+func Render(seen map[Outcome]int) string {
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s x%d; ", k, seen[k])
+	}
+	return sb.String()
+}
+
+// storeBuffering: SB — both threads store then load the other's location
+// with relaxed ordering; r1=0 r2=0 is the weak outcome x86 store buffers
+// (and our store histories) produce, forbidden under SC.
+func storeBuffering() Test {
+	return Test{
+		Name:        "SB",
+		AllowedWeak: []Outcome{"r1=0 r2=0"},
+		Run: func(rt *core.Runtime) (func(*core.Thread), func() Outcome) {
+			var r1, r2 uint64
+			body := func(main *core.Thread) {
+				x := main.NewAtomic64("sb.x", 0)
+				y := main.NewAtomic64("sb.y", 0)
+				h1 := main.Spawn("t1", func(t *core.Thread) {
+					x.Store(t, 1, core.Relaxed)
+					r1 = y.Load(t, core.Relaxed)
+				})
+				h2 := main.Spawn("t2", func(t *core.Thread) {
+					y.Store(t, 1, core.Relaxed)
+					r2 = x.Load(t, core.Relaxed)
+				})
+				main.Join(h1)
+				main.Join(h2)
+			}
+			return body, func() Outcome { return fmt.Sprintf("r1=%d r2=%d", r1, r2) }
+		},
+	}
+}
+
+// messagePassing: MP — with release/acquire the data must be visible once
+// the flag is; r1=1 r2=0 is forbidden under BOTH models.
+func messagePassing() Test {
+	return Test{
+		Name:      "MP",
+		Forbidden: []Outcome{"r1=1 r2=0"},
+		Run: func(rt *core.Runtime) (func(*core.Thread), func() Outcome) {
+			var r1, r2 uint64
+			body := func(main *core.Thread) {
+				data := main.NewAtomic64("mp.data", 0)
+				flag := main.NewAtomic64("mp.flag", 0)
+				h1 := main.Spawn("t1", func(t *core.Thread) {
+					data.Store(t, 1, core.Relaxed)
+					flag.Store(t, 1, core.Release)
+				})
+				h2 := main.Spawn("t2", func(t *core.Thread) {
+					r1 = flag.Load(t, core.Acquire)
+					r2 = data.Load(t, core.Relaxed)
+				})
+				main.Join(h1)
+				main.Join(h2)
+			}
+			return body, func() Outcome { return fmt.Sprintf("r1=%d r2=%d", r1, r2) }
+		},
+	}
+}
+
+// loadBuffering: LB — r1=1 r2=1 requires both loads to read from stores
+// that are program-order later in the other thread. C++11 relaxed permits
+// it, but no history-based (non-speculative) implementation produces it;
+// we document the conservatism by listing it as forbidden-in-practice.
+func loadBuffering() Test {
+	return Test{
+		Name:      "LB",
+		Forbidden: []Outcome{"r1=1 r2=1"},
+		Run: func(rt *core.Runtime) (func(*core.Thread), func() Outcome) {
+			var r1, r2 uint64
+			body := func(main *core.Thread) {
+				x := main.NewAtomic64("lb.x", 0)
+				y := main.NewAtomic64("lb.y", 0)
+				h1 := main.Spawn("t1", func(t *core.Thread) {
+					r1 = x.Load(t, core.Relaxed)
+					y.Store(t, 1, core.Relaxed)
+				})
+				h2 := main.Spawn("t2", func(t *core.Thread) {
+					r2 = y.Load(t, core.Relaxed)
+					x.Store(t, 1, core.Relaxed)
+				})
+				main.Join(h1)
+				main.Join(h2)
+			}
+			return body, func() Outcome { return fmt.Sprintf("r1=%d r2=%d", r1, r2) }
+		},
+	}
+}
+
+// coherenceRR: CoRR — two reads of one location by one thread must not
+// observe stores in anti-modification order, even fully relaxed.
+func coherenceRR() Test {
+	return Test{
+		Name:      "CoRR",
+		Forbidden: []Outcome{"r1=2 r2=1"},
+		Run: func(rt *core.Runtime) (func(*core.Thread), func() Outcome) {
+			var r1, r2 uint64
+			body := func(main *core.Thread) {
+				x := main.NewAtomic64("corr.x", 0)
+				h1 := main.Spawn("t1", func(t *core.Thread) {
+					x.Store(t, 1, core.Relaxed)
+					x.Store(t, 2, core.Relaxed)
+				})
+				h2 := main.Spawn("t2", func(t *core.Thread) {
+					r1 = x.Load(t, core.Relaxed)
+					r2 = x.Load(t, core.Relaxed)
+				})
+				main.Join(h1)
+				main.Join(h2)
+			}
+			return body, func() Outcome { return fmt.Sprintf("r1=%d r2=%d", r1, r2) }
+		},
+	}
+}
+
+// wrc: write-to-read causality — T2 reads T1's store with acquire and
+// release-stores a flag; T3 acquire-reads the flag; T3 must then see T1's
+// store (r2=1 r3=0 forbidden) because release sequences compose.
+func wrc() Test {
+	return Test{
+		Name:      "WRC",
+		Forbidden: []Outcome{"r2=1 r3=0"},
+		Run: func(rt *core.Runtime) (func(*core.Thread), func() Outcome) {
+			var r1, r2, r3 uint64
+			body := func(main *core.Thread) {
+				x := main.NewAtomic64("wrc.x", 0)
+				y := main.NewAtomic64("wrc.y", 0)
+				h1 := main.Spawn("t1", func(t *core.Thread) {
+					x.Store(t, 1, core.Release)
+				})
+				h2 := main.Spawn("t2", func(t *core.Thread) {
+					r1 = x.Load(t, core.Acquire)
+					if r1 == 1 {
+						y.Store(t, 1, core.Release)
+					}
+				})
+				h3 := main.Spawn("t3", func(t *core.Thread) {
+					r2 = y.Load(t, core.Acquire)
+					r3 = x.Load(t, core.Relaxed)
+				})
+				main.Join(h1)
+				main.Join(h2)
+				main.Join(h3)
+			}
+			return body, func() Outcome { return fmt.Sprintf("r2=%d r3=%d", r2, r3) }
+		},
+	}
+}
+
+// iriw: independent reads of independent writes — with relaxed loads the
+// two readers may disagree on the order of the two writes (allowed weak);
+// per-location coherence still holds.
+func iriw() Test {
+	return Test{
+		Name:        "IRIW",
+		AllowedWeak: []Outcome{"r1=1 r2=0 r3=1 r4=0"},
+		Run: func(rt *core.Runtime) (func(*core.Thread), func() Outcome) {
+			var r1, r2, r3, r4 uint64
+			body := func(main *core.Thread) {
+				x := main.NewAtomic64("iriw.x", 0)
+				y := main.NewAtomic64("iriw.y", 0)
+				hw1 := main.Spawn("w1", func(t *core.Thread) { x.Store(t, 1, core.Relaxed) })
+				hw2 := main.Spawn("w2", func(t *core.Thread) { y.Store(t, 1, core.Relaxed) })
+				hr1 := main.Spawn("rdr1", func(t *core.Thread) {
+					r1 = x.Load(t, core.Relaxed)
+					r2 = y.Load(t, core.Relaxed)
+				})
+				hr2 := main.Spawn("rdr2", func(t *core.Thread) {
+					r3 = y.Load(t, core.Relaxed)
+					r4 = x.Load(t, core.Relaxed)
+				})
+				main.Join(hw1)
+				main.Join(hw2)
+				main.Join(hr1)
+				main.Join(hr2)
+			}
+			return body, func() Outcome {
+				return fmt.Sprintf("r1=%d r2=%d r3=%d r4=%d", r1, r2, r3, r4)
+			}
+		},
+	}
+}

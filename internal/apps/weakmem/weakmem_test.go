@@ -1,0 +1,72 @@
+package weakmem
+
+import "testing"
+
+const runs = 400
+
+func TestForbiddenOutcomesNeverAppear(t *testing.T) {
+	for _, tst := range Tests {
+		for _, sc := range []bool{false, true} {
+			seen, err := Explore(tst, runs, sc)
+			if err != nil {
+				t.Fatalf("%s (sc=%v): %v", tst.Name, sc, err)
+			}
+			for _, bad := range tst.Forbidden {
+				if n := seen[bad]; n > 0 {
+					t.Errorf("%s (sc=%v): forbidden outcome %q appeared %d times (%s)",
+						tst.Name, sc, bad, n, Render(seen))
+				}
+			}
+		}
+	}
+}
+
+func TestWeakOutcomesAppearUnderC11(t *testing.T) {
+	for _, tst := range Tests {
+		if len(tst.AllowedWeak) == 0 {
+			continue
+		}
+		seen, err := Explore(tst, runs, false)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		for _, weak := range tst.AllowedWeak {
+			if seen[weak] == 0 {
+				t.Errorf("%s: allowed weak outcome %q never observed across %d runs (%s)",
+					tst.Name, weak, runs, Render(seen))
+			}
+		}
+	}
+}
+
+func TestWeakOutcomesForbiddenUnderSC(t *testing.T) {
+	for _, tst := range Tests {
+		if len(tst.AllowedWeak) == 0 {
+			continue
+		}
+		seen, err := Explore(tst, runs, true)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		for _, weak := range tst.AllowedWeak {
+			if n := seen[weak]; n > 0 {
+				t.Errorf("%s: weak outcome %q appeared %d times under sequential consistency (%s)",
+					tst.Name, weak, n, Render(seen))
+			}
+		}
+	}
+}
+
+func TestOutcomeDiversity(t *testing.T) {
+	// Controlled random scheduling must actually explore: every shape has
+	// at least two distinct outcomes across seeds.
+	for _, tst := range Tests {
+		seen, err := Explore(tst, runs, false)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if len(seen) < 2 {
+			t.Errorf("%s: only outcomes %s across %d runs", tst.Name, Render(seen), runs)
+		}
+	}
+}

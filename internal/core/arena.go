@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// arenaState simulates heap address assignment, the memory-layout
+// nondeterminism of §5.5. Programs whose behaviour depends on pointer
+// values (iterating ordered containers of pointers, as SQLite and
+// SpiderMonkey do) desynchronise under sparse replay because the layout is
+// not recorded. The deterministic mode models the paper's suggested
+// mitigation: replacing default allocation with a deterministic allocator.
+type arenaState struct {
+	mu            sync.Mutex
+	deterministic bool
+	entropy       uint64
+	// regions model malloc arenas/free-list bins: each allocation lands
+	// in a random region whose base was randomised at startup, so the
+	// relative order of two objects' addresses varies run to run — as it
+	// does between a recording process and a replaying process.
+	regionBase []uint64
+	regionOff  []uint64
+}
+
+const arenaRegions = 8
+
+func (a *arenaState) init(deterministic bool) {
+	a.deterministic = deterministic
+	if deterministic {
+		a.regionBase = []uint64{0x10000000}
+		a.regionOff = []uint64{0}
+		return
+	}
+	// ASLR-style randomised bases, drawn from wall-clock entropy that is
+	// deliberately outside the recorded nondeterminism.
+	a.entropy = uint64(time.Now().UnixNano())
+	a.regionBase = make([]uint64, arenaRegions)
+	a.regionOff = make([]uint64, arenaRegions)
+	for i := range a.regionBase {
+		a.regionBase[i] = 0x10000000 + (a.step()&0xFFFF)<<20
+	}
+}
+
+func (a *arenaState) step() uint64 {
+	a.entropy += 0x9e3779b97f4a7c15
+	z := a.entropy
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Alloc returns a simulated heap address for an object of the given size.
+// With the deterministic allocator, addresses depend only on allocation
+// order; otherwise they also depend on which randomised region the
+// allocation lands in.
+func (rt *Runtime) Alloc(size uint64) uint64 {
+	a := &rt.arena
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := 0
+	if !a.deterministic {
+		r = int(a.step() % arenaRegions)
+	}
+	addr := a.regionBase[r] + a.regionOff[r]
+	a.regionOff[r] += (size + 15) &^ 15
+	return addr
+}

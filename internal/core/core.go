@@ -1,0 +1,470 @@
+// Package core is the public façade of tsanrec: the Go analogue of the
+// paper's tsan11rec tool. Programs under test are written against this
+// API — Thread spawn/join, Mutex, Cond, Atomic32/64, race-checked Var data,
+// fences, and environment syscall wrappers — and every API call is exactly
+// one instrumented visible operation, the role compile-time instrumentation
+// plays in the original tool.
+//
+// A Runtime combines the controlled scheduler (internal/sched), the
+// tsan11-model race detector (internal/tsan), the sparse record/replay
+// engine (internal/demo) and a virtual environment (internal/env). Usage:
+//
+//	rt, _ := core.New(core.Options{Strategy: demo.StrategyRandom, Seed1: 1, Seed2: 2, Record: true})
+//	report, err := rt.Run(func(t *core.Thread) { ... })
+//	// report.Demo can later be replayed:
+//	rt2, _ := core.New(core.Options{Strategy: demo.StrategyRandom, Replay: report.Demo})
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/demo"
+	"repro/internal/env"
+	"repro/internal/prng"
+	"repro/internal/sched"
+	"repro/internal/tsan"
+)
+
+// TID aliases the scheduler thread id.
+type TID = sched.TID
+
+// Options configures a Runtime.
+type Options struct {
+	// Strategy selects the scheduling strategy (random, queue, or the PCT
+	// extension).
+	Strategy demo.Strategy
+	// Seed1, Seed2 seed the scheduler PRNG, standing in for the paper's
+	// two rdtsc() calls. A replay reuses the demo's recorded seeds.
+	Seed1, Seed2 uint64
+	// Record enables demo recording.
+	Record bool
+	// Replay, if non-nil, replays the given demo. Overrides Record and
+	// the seeds.
+	Replay *demo.Demo
+	// DisableRaces turns the race detector's happens-before analysis off
+	// entirely (the "native-ish" configurations). Detection is on by
+	// default because integrating it is the point of the tool.
+	DisableRaces bool
+	// ReportRaces controls whether detected races are materialised as
+	// reports; the paper's "no reports" columns run detection with
+	// reporting suppressed.
+	ReportRaces bool
+	// SequentialConsistency disables weak-memory store histories,
+	// modelling plain tsan semantics (ablation).
+	SequentialConsistency bool
+	// HistoryDepth bounds atomic store histories (default 8).
+	HistoryDepth int
+	// World is the virtual environment; nil creates a fresh one.
+	World *env.World
+	// Policy is the sparse syscall-recording policy (§4.4). Defaults to
+	// PolicySparse.
+	Policy Policy
+	// RescheduleQuantum is the liveness quantum n of §3.3: the background
+	// rescheduler forces a scheduling decision when the current thread
+	// spends longer than this outside a critical section. 0 means the
+	// 2ms default; negative disables.
+	RescheduleQuantum time.Duration
+	// MaxTicks aborts runaway executions (0 = 50M safety default).
+	MaxTicks uint64
+	// WallTimeout aborts the run after this much real time (0 = 30s).
+	WallTimeout time.Duration
+	// PCTDepth / PCTLength parameterise the PCT strategy.
+	PCTDepth  int
+	PCTLength uint64
+	// Sequentialize serialises invisible regions too: only one thread
+	// executes at any time, context-switching at visible operations. This
+	// models rr's single-core execution (used by the rr-model baseline
+	// and the ablation benchmarks).
+	Sequentialize bool
+	// PerEventOverhead adds a busy-wait to every instrumented syscall,
+	// modelling rr's per-event ptrace trap-stop-resume cost (real rr traps
+	// at syscalls, not at every synchronisation operation).
+	PerEventOverhead time.Duration
+	// StartupOverhead adds a one-time busy-wait at Run start, modelling
+	// rr's constant tracer-setup cost ("the rr results show huge increases
+	// due to a constant overhead applied to all programs", §5.1).
+	StartupOverhead time.Duration
+	// DeterministicAlloc makes Arena addresses deterministic, the
+	// mitigation §5.5 suggests for memory-layout-sensitive programs.
+	DeterministicAlloc bool
+	// Uncontrolled disables controlled scheduling entirely: the program
+	// runs on the raw Go scheduler with (optionally) race detection, the
+	// paper's plain-tsan11 baseline. With DisableRaces it is the "native"
+	// baseline. Incompatible with Record/Replay.
+	Uncontrolled bool
+	// SpawnDelay models pthread_create cost: the parent busy-waits this
+	// long after launching a child, giving the child the head start a
+	// pthread would have over later siblings. Go launches goroutines
+	// last-in-first-out, the opposite arrival order, so without this the
+	// queue strategy and the uncontrolled baseline explore schedules the
+	// paper's substrate never would. 0 = 100µs default; negative disables.
+	// Ignored during replay (the demo dictates the schedule).
+	SpawnDelay time.Duration
+}
+
+// Report summarises one execution.
+type Report struct {
+	// Races are the distinct data races detected.
+	Races []tsan.Report
+	// Ticks is the number of visible operations executed.
+	Ticks uint64
+	// Threads is the total number of threads created.
+	Threads int
+	// Demo is the recording (nil unless Options.Record).
+	Demo *demo.Demo
+	// Leaked counts threads still live when main returned.
+	Leaked int
+	// SoftDesync reports replay output diverging from the recording while
+	// all hard constraints held (§4).
+	SoftDesync bool
+	// Output is the program's collected observable output.
+	Output []byte
+	// Err is the abnormal-termination cause: a *demo.DesyncError for hard
+	// desynchronisation, *sched.DeadlockError, *sched.StalledError, or an
+	// application panic.
+	Err error
+	// RecentSchedule is the scheduler's flight recorder at termination
+	// (the last ≤64 ticks), populated when Err is non-nil to aid desync
+	// diagnosis.
+	RecentSchedule []string
+}
+
+// RaceCount returns the number of distinct races in the report.
+func (r *Report) RaceCount() int { return len(r.Races) }
+
+// Runtime is one instrumented execution context.
+type Runtime struct {
+	opts  Options
+	sch   *sched.Scheduler
+	detMu sync.Mutex // serialises detector access from invisible operations
+	det   *tsan.Detector
+	rec   *demo.Recorder
+	rep   *demo.Replayer
+	world *env.World
+
+	cpu cpuToken // rr-model sequentialisation token
+
+	mu       sync.Mutex
+	handlers map[int32]signalHandler
+	sigTID   TID // thread that receives external signals
+	output   []byte
+	nextSync uint64 // mutex/cond id allocator
+	appErr   error  // first application panic
+	arena    arenaState
+
+	unc      uncontrolledState
+	uthreads map[TID]*Thread
+
+	wg       sync.WaitGroup
+	stopWdog chan struct{}
+}
+
+type signalHandler func(t *Thread, sig int32)
+
+// New constructs a Runtime.
+func New(opts Options) (*Runtime, error) {
+	if opts.MaxTicks == 0 {
+		opts.MaxTicks = 50_000_000
+	}
+	if opts.WallTimeout == 0 {
+		opts.WallTimeout = 30 * time.Second
+	}
+	if opts.RescheduleQuantum == 0 {
+		opts.RescheduleQuantum = 2 * time.Millisecond
+	}
+	if opts.SpawnDelay == 0 {
+		opts.SpawnDelay = 100 * time.Microsecond
+	}
+	if opts.Policy.Name == "" {
+		opts.Policy = PolicySparse
+	}
+	if err := validateUncontrolled(opts); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		opts:     opts,
+		handlers: make(map[int32]signalHandler),
+		sigTID:   0,
+		uthreads: make(map[TID]*Thread),
+		stopWdog: make(chan struct{}),
+	}
+	seed1, seed2 := opts.Seed1, opts.Seed2
+
+	if opts.Uncontrolled {
+		rt.unc.init()
+		rt.det = tsan.New(prng.New(seed1, seed2), tsan.Options{
+			HistoryDepth:          opts.HistoryDepth,
+			SequentialConsistency: opts.SequentialConsistency,
+		})
+		rt.det.SetReporting(opts.ReportRaces)
+		rt.world = opts.World
+		if rt.world == nil {
+			rt.world = env.NewWorld(seed1 ^ seed2)
+		}
+		rt.arena.init(opts.DeterministicAlloc)
+		rt.world.RegisterSignalSink(func(sig int32) { rt.deliverSignal(sig) })
+		return rt, nil
+	}
+
+	var recorder *demo.Recorder
+	var replayer *demo.Replayer
+	if opts.Replay != nil {
+		rp, err := demo.NewReplayer(opts.Replay)
+		if err != nil {
+			return nil, err
+		}
+		replayer = rp
+		seed1, seed2 = opts.Replay.Seed1, opts.Replay.Seed2
+	} else if opts.Record {
+		recorder = demo.NewRecorder(opts.Strategy, seed1, seed2)
+	}
+	s, err := sched.New(sched.Options{
+		Kind:      opts.Strategy,
+		Seed1:     seed1,
+		Seed2:     seed2,
+		Recorder:  recorder,
+		Replayer:  replayer,
+		MaxTicks:  opts.MaxTicks,
+		PCTDepth:  opts.PCTDepth,
+		PCTLength: opts.PCTLength,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.sch = s
+	rt.rec = recorder
+	rt.rep = replayer
+	rt.det = tsan.New(s.Rand(), tsan.Options{
+		HistoryDepth:          opts.HistoryDepth,
+		SequentialConsistency: opts.SequentialConsistency,
+	})
+	rt.det.SetReporting(opts.ReportRaces)
+	rt.world = opts.World
+	if rt.world == nil {
+		rt.world = env.NewWorld(seed1 ^ seed2)
+	}
+	rt.arena.init(opts.DeterministicAlloc)
+	rt.world.RegisterSignalSink(func(sig int32) { rt.deliverSignal(sig) })
+	return rt, nil
+}
+
+// World returns the runtime's virtual environment, so tests and external
+// drivers can set up files, listeners and injectors.
+func (rt *Runtime) World() *env.World { return rt.world }
+
+// deliverSignal routes an external signal to the designated thread if a
+// handler is installed (unhandled signals are ignored, the SIG_IGN
+// default our applications rely on).
+func (rt *Runtime) deliverSignal(sig int32) {
+	rt.mu.Lock()
+	_, handled := rt.handlers[sig]
+	target := rt.sigTID
+	rt.mu.Unlock()
+	if !handled {
+		return
+	}
+	if rt.opts.Uncontrolled {
+		rt.mu.Lock()
+		th := rt.uthreads[target]
+		rt.mu.Unlock()
+		if th != nil {
+			rt.uncontrolledDeliver(th, sig)
+		}
+		return
+	}
+	rt.sch.DeliverSignal(target, sig)
+}
+
+// Run executes fn as the main thread (TID 0) and returns the execution
+// report. Threads still live when main returns are aborted, as process
+// exit would.
+func (rt *Runtime) Run(fn func(t *Thread)) (*Report, error) {
+	if rt.opts.Uncontrolled {
+		return rt.runUncontrolled(fn)
+	}
+	main := newThread(rt, 0, "main")
+	if rt.opts.StartupOverhead > 0 {
+		spin(rt.opts.StartupOverhead)
+	}
+	rt.startWatchdog()
+
+	done := make(chan struct{})
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		defer close(done)
+		rt.threadBody(main, fn)
+	}()
+	<-done
+
+	leaked := rt.sch.Shutdown()
+	rt.wg.Wait()
+	close(rt.stopWdog)
+	rt.world.Shutdown()
+
+	rep := &Report{
+		Races:   rt.det.Reports(),
+		Ticks:   rt.sch.TickCount(),
+		Threads: rt.sch.ThreadCount(),
+		Leaked:  leaked,
+		Output:  rt.output,
+	}
+	err := rt.sch.Err()
+	if errors.Is(err, sched.ErrShutdown) {
+		err = nil // normal straggler cleanup
+	}
+	rt.mu.Lock()
+	if err == nil && rt.appErr != nil {
+		err = rt.appErr
+	}
+	rt.mu.Unlock()
+	if rt.rec != nil {
+		rep.Demo = rt.rec.Finish(rt.sch.TickCount())
+	}
+	if rt.rep != nil {
+		if err == nil {
+			err = rt.rep.LeftoverError(rt.sch.TickCount())
+		}
+		rep.SoftDesync = rt.rep.SoftDesynced()
+	}
+	rep.Err = err
+	if err != nil {
+		rep.RecentSchedule = rt.sch.RecentSchedule()
+	}
+	return rep, err
+}
+
+// threadBody runs fn on t, recovering scheduler aborts and application
+// panics, and deregistering the thread on normal completion.
+func (rt *Runtime) threadBody(t *Thread, fn func(*Thread)) {
+	normal := false
+	defer func() {
+		if r := recover(); r != nil {
+			if ab, ok := r.(sched.Abort); ok {
+				_ = ab // scheduler-initiated unwind; cause is in sch.Err()
+				return
+			}
+			rt.mu.Lock()
+			if rt.appErr == nil {
+				rt.appErr = fmt.Errorf("core: thread %d (%s) panicked: %v", t.id, t.name, r)
+			}
+			rt.mu.Unlock()
+			rt.sch.Stop(rt.appErr)
+			return
+		}
+		_ = normal
+	}()
+	if rt.opts.Sequentialize {
+		// Under the rr model instrumented execution is serialised: a
+		// thread takes the virtual CPU at its first visible operation and
+		// holds it between operations, releasing it only while blocked at
+		// scheduling points. (Code before the first visible operation is
+		// outside the instrumented window, so it does not contend — which
+		// also means a thread blocking on un-instrumented state before
+		// its first operation cannot wedge the virtual CPU.)
+		defer rt.cpu.release(t)
+	}
+	fn(t)
+	t.exit()
+}
+
+// startWatchdog launches the background thread the paper co-opts from
+// tsan (§3.3): every quantum it forces a reschedule if the current thread
+// is stuck in an invisible region, and it declares deadlock when the
+// execution has been idle for two consecutive quanta.
+func (rt *Runtime) startWatchdog() {
+	quantum := rt.opts.RescheduleQuantum
+	if quantum < 0 {
+		quantum = 100 * time.Millisecond // deadlock detection only
+	}
+	reschedule := rt.opts.RescheduleQuantum > 0
+	deadline := time.Now().Add(rt.opts.WallTimeout)
+	go func() {
+		ticker := time.NewTicker(quantum)
+		defer ticker.Stop()
+		idleStreak := 0
+		for {
+			select {
+			case <-rt.stopWdog:
+				return
+			case <-ticker.C:
+				if time.Now().After(deadline) {
+					rt.sch.Stop(fmt.Errorf("core: wall timeout after %v", rt.opts.WallTimeout))
+					return
+				}
+				if rt.sch.Idle() {
+					idleStreak++
+					if idleStreak >= 2 {
+						rt.sch.DeclareDeadlock()
+					}
+					continue
+				}
+				idleStreak = 0
+				if reschedule {
+					rt.sch.ForceReschedule()
+				}
+			}
+		}
+	}()
+}
+
+// nextSyncID allocates a mutex/cond identifier.
+func (rt *Runtime) nextSyncID() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.nextSync++
+	return rt.nextSync
+}
+
+// emit collects observable output and folds it into the record/replay
+// output hashes used for soft-desync detection.
+func (rt *Runtime) emit(p []byte) {
+	rt.mu.Lock()
+	rt.output = append(rt.output, p...)
+	rt.mu.Unlock()
+	if rt.rec != nil {
+		rt.rec.MixOutput(p)
+	}
+	if rt.rep != nil {
+		rt.rep.MixOutput(p)
+	}
+}
+
+// cpuToken is the rr-model virtual single core: when sequentialisation is
+// on, a thread holds it whenever it executes user code and releases it
+// while blocked at a scheduling point.
+type cpuToken struct {
+	mu   sync.Mutex
+	held map[TID]bool
+	lk   sync.Mutex
+}
+
+func (c *cpuToken) acquire(t *Thread) {
+	c.lk.Lock()
+	if c.held == nil {
+		c.held = make(map[TID]bool)
+	}
+	if c.held[t.id] {
+		c.lk.Unlock()
+		return
+	}
+	c.lk.Unlock()
+	c.mu.Lock()
+	c.lk.Lock()
+	c.held[t.id] = true
+	c.lk.Unlock()
+}
+
+func (c *cpuToken) release(t *Thread) {
+	c.lk.Lock()
+	if c.held != nil && c.held[t.id] {
+		c.held[t.id] = false
+		c.lk.Unlock()
+		c.mu.Unlock()
+		return
+	}
+	c.lk.Unlock()
+}

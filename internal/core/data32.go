@@ -1,0 +1,99 @@
+package core
+
+import "repro/internal/tsan"
+
+// Atomic32 is a 32-bit atomic location; tsan instruments 1-, 2-, 4- and
+// 8-byte atomics (__tsan_atomic32_* etc.), and the 4-byte flavour is the
+// most common in the CDSchecker benchmarks. It shares the 64-bit
+// memory-model machinery with values masked to 32 bits.
+type Atomic32 struct {
+	a Atomic64
+}
+
+// NewAtomic32 creates a 32-bit atomic location (setup code; for creation
+// from running code use Thread.NewAtomic32).
+func (rt *Runtime) NewAtomic32(name string, init uint32) *Atomic32 {
+	return &Atomic32{a: Atomic64{rt: rt, name: name,
+		state: tsan.NewAtomicState(rt.det, 0, uint64(init)), nval: uint64(init)}}
+}
+
+// NewAtomic32 creates a 32-bit atomic location from running code.
+func (t *Thread) NewAtomic32(name string, init uint32) *Atomic32 {
+	a64 := t.NewAtomic64(name, uint64(init))
+	return &Atomic32{a: *a64}
+}
+
+// Load performs an atomic load.
+func (x *Atomic32) Load(t *Thread, order MemoryOrder) uint32 {
+	return uint32(x.a.Load(t, order))
+}
+
+// Store performs an atomic store.
+func (x *Atomic32) Store(t *Thread, v uint32, order MemoryOrder) {
+	x.a.Store(t, uint64(v), order)
+}
+
+// Add atomically adds delta, returning the previous value.
+func (x *Atomic32) Add(t *Thread, delta uint32, order MemoryOrder) uint32 {
+	return uint32(x.a.Add(t, uint64(delta), order))
+}
+
+// Exchange atomically swaps in v, returning the previous value.
+func (x *Atomic32) Exchange(t *Thread, v uint32, order MemoryOrder) uint32 {
+	return uint32(x.a.Exchange(t, uint64(v), order))
+}
+
+// CompareExchange is a strong CAS.
+func (x *Atomic32) CompareExchange(t *Thread, expected, desired uint32, order, failOrder MemoryOrder) (uint32, bool) {
+	old, ok := x.a.CompareExchange(t, uint64(expected), uint64(desired), order, failOrder)
+	return uint32(old), ok
+}
+
+// Latest returns the newest value in modification order (tests only).
+func (x *Atomic32) Latest() uint32 { return uint32(x.a.Latest()) }
+
+// AtomicBool is a boolean atomic flag (std::atomic<bool>), stored as 0/1.
+type AtomicBool struct {
+	a Atomic64
+}
+
+// NewAtomicBool creates an atomic flag (setup code).
+func (rt *Runtime) NewAtomicBool(name string, init bool) *AtomicBool {
+	return &AtomicBool{a: Atomic64{rt: rt, name: name,
+		state: tsan.NewAtomicState(rt.det, 0, boolWord(init)), nval: boolWord(init)}}
+}
+
+// NewAtomicBool creates an atomic flag from running code.
+func (t *Thread) NewAtomicBool(name string, init bool) *AtomicBool {
+	a64 := t.NewAtomic64(name, boolWord(init))
+	return &AtomicBool{a: *a64}
+}
+
+// Load performs an atomic load.
+func (x *AtomicBool) Load(t *Thread, order MemoryOrder) bool {
+	return x.a.Load(t, order) != 0
+}
+
+// Store performs an atomic store.
+func (x *AtomicBool) Store(t *Thread, v bool, order MemoryOrder) {
+	x.a.Store(t, boolWord(v), order)
+}
+
+// Exchange swaps in v, returning the previous value (test_and_set when
+// v == true).
+func (x *AtomicBool) Exchange(t *Thread, v bool, order MemoryOrder) bool {
+	return x.a.Exchange(t, boolWord(v), order) != 0
+}
+
+// CompareExchange is a strong CAS.
+func (x *AtomicBool) CompareExchange(t *Thread, expected, desired bool, order, failOrder MemoryOrder) (bool, bool) {
+	old, ok := x.a.CompareExchange(t, boolWord(expected), boolWord(desired), order, failOrder)
+	return old != 0, ok
+}
+
+func boolWord(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}

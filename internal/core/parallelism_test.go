@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/demo"
+)
+
+// TestInvisibleRegionsRunInParallel verifies the structural property behind
+// the paper's performance results (§3.1, Fig. 3): between Tick and the next
+// Wait a thread is unscheduled — other threads can complete visible
+// operations while it sits in an invisible region. Thread B waits (on a
+// plain Go channel, invisible to the instrumentation) for thread A to
+// complete visible operations; if invisible regions excluded each other
+// this would deadlock until the watchdog, so B's progress proves the
+// overlap.
+func TestInvisibleRegionsRunInParallel(t *testing.T) {
+	rt := newTestRuntime(t, Options{Strategy: demo.StrategyQueue, Seed1: 1, Seed2: 2})
+	aProgressed := make(chan struct{})
+	bInInvisible := make(chan struct{})
+	ok := false
+	_, err := rt.Run(func(main *Thread) {
+		hb := main.Spawn("b", func(b *Thread) {
+			b.Yield() // one visible op so B is mid-execution
+			close(bInInvisible)
+			// Invisible region: block until A completes visible ops.
+			select {
+			case <-aProgressed:
+				ok = true
+			case <-time.After(5 * time.Second):
+			}
+		})
+		ha := main.Spawn("a", func(a *Thread) {
+			<-bInInvisible
+			for i := 0; i < 10; i++ {
+				a.Yield() // visible ops while B is inside its invisible region
+			}
+			close(aProgressed)
+		})
+		main.Join(ha)
+		main.Join(hb)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("visible operations could not proceed while another thread was in an invisible region")
+	}
+}
+
+// TestSequentializeExcludesInvisibleRegions verifies the rr model's
+// complementary property: with Sequentialize on, a thread occupying the
+// virtual CPU in an invisible region prevents all other threads from
+// executing, which is why rr "forces sequentialization across all
+// operations" (§5.3).
+func TestSequentializeExcludesInvisibleRegions(t *testing.T) {
+	rt := newTestRuntime(t, Options{
+		Strategy: demo.StrategyQueue, Seed1: 1, Seed2: 2,
+		Sequentialize: true,
+		// Keep the scheduler from idling out the run.
+		WallTimeout: 10 * time.Second,
+	})
+	bHeld := make(chan struct{})
+	aRan := make(chan struct{})
+	overlapped := false
+	_, err := rt.Run(func(main *Thread) {
+		hb := main.Spawn("b", func(b *Thread) {
+			b.Yield()
+			close(bHeld)
+			// Hold the virtual CPU inside an invisible region; A must not
+			// complete a visible op during this window.
+			select {
+			case <-aRan:
+				overlapped = true
+			case <-time.After(300 * time.Millisecond):
+			}
+		})
+		ha := main.Spawn("a", func(a *Thread) {
+			<-bHeld
+			a.Yield()
+			close(aRan)
+		})
+		main.Join(ha)
+		main.Join(hb)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlapped {
+		t.Fatal("rr model allowed a visible op to overlap another thread's invisible region")
+	}
+}

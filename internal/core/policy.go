@@ -1,0 +1,89 @@
+package core
+
+import "repro/internal/env"
+
+// Policy is the sparse syscall-recording configuration of §4.4: which
+// syscall results are captured in the demo (and enforced during replay)
+// versus re-executed live. "Structural" calls that shape the fd table
+// (socket/bind/listen/connect/open/close/pipe) are always executed live —
+// their outcomes are deterministic given the schedule — so recording
+// decisions concern the data-bearing calls.
+//
+// The choice is per application (§4.4): recording too little desynchronises
+// replay; recording too much snowballs (every call touching a recorded fd
+// must then be recorded) and can be actively harmful, as with the games'
+// display-driver ioctls (§5.4).
+type Policy struct {
+	Name string
+	// Clock records clock_gettime results.
+	Clock bool
+	// Net records recv/recvmsg/send/sendmsg/accept/accept4/poll/select on
+	// sockets and listeners.
+	Net bool
+	// PipeIO records read/write on IPC pipes (necessary: pipe contents
+	// depend on scheduling of the other end).
+	PipeIO bool
+	// FileIO records read/write on plain files (usually unnecessary: file
+	// contents are deterministic; recording them only bloats the demo).
+	FileIO bool
+	// Ioctl records ioctl results on devices. For the display driver this
+	// is the "non-sparse attempt" configuration: it bloats the demo with
+	// framebuffer traffic and blinds the replayed display. The sparse
+	// configuration leaves it false so ioctl runs natively during replay
+	// (§5.4).
+	Ioctl bool
+	// RefuseIoctl makes device ioctls fail outright, reproducing rr's
+	// inability to record the game/display communication.
+	RefuseIoctl bool
+}
+
+// Predefined policies.
+var (
+	// PolicyNone records nothing beyond the schedule: pure controlled
+	// concurrency testing (the CDSchecker litmus configuration).
+	PolicyNone = Policy{Name: "none"}
+	// PolicySparse is the paper's tuned sparse set: network, pipes and
+	// clock recorded; files and device ioctl live.
+	PolicySparse = Policy{Name: "sparse", Clock: true, Net: true, PipeIO: true}
+	// PolicyFull records everything it can, the non-sparse attempt:
+	// network, pipes, files, clock and ioctl.
+	PolicyFull = Policy{Name: "full", Clock: true, Net: true, PipeIO: true, FileIO: true, Ioctl: true}
+	// PolicyRR models rr: records everything and refuses device ioctl.
+	PolicyRR = Policy{Name: "rr", Clock: true, Net: true, PipeIO: true, FileIO: true, RefuseIoctl: true}
+)
+
+// ShouldRecord decides whether a syscall's results are captured, given the
+// call kind and the fd's kind.
+func (p Policy) ShouldRecord(kind env.Sys, fdk env.FDKind) bool {
+	switch kind {
+	case env.SysClockGettime:
+		return p.Clock
+	case env.SysIoctl:
+		return p.Ioctl
+	case env.SysAccept, env.SysAccept4:
+		return p.Net
+	case env.SysRecv, env.SysRecvmsg, env.SysSend, env.SysSendmsg:
+		return p.Net
+	case env.SysConnect:
+		// The peer (X server, game server, remote host) exists only in
+		// the recorded world: replaying the result lets the program take
+		// the same connected/refused branch with no live endpoint.
+		return p.Net
+	case env.SysPoll, env.SysSelect:
+		return p.Net
+	case env.SysRead, env.SysWrite:
+		switch fdk {
+		case env.FDPipeRead, env.FDPipeWrite:
+			return p.PipeIO
+		case env.FDSocket:
+			return p.Net
+		case env.FDFile:
+			return p.FileIO
+		default:
+			return false
+		}
+	default:
+		// Structural calls are never recorded.
+		return false
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/demo"
+	"repro/internal/prng"
+)
+
+// Thread is a thread of the program under test. All operations on a Thread
+// must be performed by the goroutine running that thread.
+type Thread struct {
+	rt   *Runtime
+	id   TID
+	name string
+	rand *prng.Source // per-thread deterministic PRNG for application logic
+
+	// uncontrolled-mode state
+	udone    chan struct{}
+	upending []int32
+}
+
+func newThread(rt *Runtime, id TID, name string) *Thread {
+	return &Thread{rt: rt, id: id, name: name}
+}
+
+// ID returns the thread's scheduler id (main is 0).
+func (t *Thread) ID() TID { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Runtime returns the owning runtime.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// critical executes fn as one visible operation: a Wait/Tick critical
+// section (§3.1). If an asynchronous signal is pending when the thread is
+// activated, the critical section becomes the signal-handler entry instead
+// (itself a visible operation, §3.2/§4.3), the handler body runs, and the
+// original operation is retried.
+func (t *Thread) critical(fn func()) {
+	rt := t.rt
+	if rt.opts.Uncontrolled {
+		t.uncontrolledCritical(fn)
+		return
+	}
+	for {
+		if rt.opts.Sequentialize {
+			rt.cpu.release(t)
+		}
+		rt.sch.Wait(t.id)
+		if rt.opts.Sequentialize {
+			rt.cpu.acquire(t)
+		}
+		if sig, ok := rt.sch.ConsumeSignal(t.id); ok {
+			// Handler entry is this critical section; the handler body
+			// runs outside it, its own visible operations nesting
+			// normally.
+			rt.mu.Lock()
+			h := rt.handlers[sig]
+			rt.mu.Unlock()
+			rt.sch.Tick(t.id)
+			if h != nil {
+				h(t, sig)
+			}
+			continue
+		}
+		fn()
+		rt.sch.Tick(t.id)
+		return
+	}
+}
+
+// Yield performs an empty visible operation: a pure scheduling point.
+func (t *Thread) Yield() {
+	if t.rt.opts.Uncontrolled {
+		runtime.Gosched()
+		return
+	}
+	t.critical(func() {})
+}
+
+// Rand returns the thread's deterministic PRNG, for application-level
+// randomness that must record/replay identically. Lazily seeded from the
+// scheduler PRNG inside a critical section, so seeding order is replayed.
+func (t *Thread) Rand() *prng.Source {
+	if t.rand == nil {
+		if t.rt.opts.Uncontrolled {
+			t.rand = prng.New(t.rt.opts.Seed1^uint64(t.id)*0x9e3779b97f4a7c15, t.rt.opts.Seed2+uint64(t.id))
+			return t.rand
+		}
+		var s1, s2 uint64
+		t.critical(func() {
+			s1 = t.rt.sch.Rand().Uint64()
+			s2 = t.rt.sch.Rand().Uint64()
+		})
+		t.rand = prng.New(s1, s2)
+	}
+	return t.rand
+}
+
+// Handle identifies a spawned thread for joining.
+type Handle struct {
+	t *Thread
+}
+
+// TID returns the spawned thread's id.
+func (h *Handle) TID() TID { return h.t.id }
+
+// Spawn creates and starts a new thread running fn. Creation is a visible
+// operation (§3.2) and establishes the happens-before edge from parent to
+// child.
+func (t *Thread) Spawn(name string, fn func(*Thread)) *Handle {
+	rt := t.rt
+	if rt.opts.Uncontrolled {
+		h := t.uncontrolledSpawn(name, fn)
+		rt.mu.Lock()
+		rt.uthreads[h.t.id] = h.t
+		rt.mu.Unlock()
+		return h
+	}
+	var child *Thread
+	t.critical(func() {
+		ctid := rt.sch.ThreadNew(t.id, name)
+		rt.detMu.Lock()
+		rt.det.OnThreadCreate(t.id, ctid)
+		rt.detMu.Unlock()
+		child = newThread(rt, ctid, name)
+	})
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		rt.threadBody(child, fn)
+	}()
+	// Model pthread_create cost for strategies where physical arrival
+	// order matters (the queue strategy): give the child a head start,
+	// returning early once it has run to completion or to a blocking
+	// point. Logical strategies (random, PCT) and replay are unaffected
+	// by arrival timing, so they skip the wait.
+	if rt.rep == nil && rt.opts.SpawnDelay > 0 && rt.opts.Strategy == demo.StrategyQueue {
+		deadline := time.Now().Add(rt.opts.SpawnDelay)
+		for time.Now().Before(deadline) && !rt.sch.ThreadSettled(child.id) {
+			runtime.Gosched()
+		}
+	}
+	return &Handle{t: child}
+}
+
+// Join blocks until the thread behind h completes, establishing the
+// happens-before edge from the joined thread (§3.2: the joiner disables
+// itself in the scheduler until the target's ThreadDelete re-enables it).
+func (t *Thread) Join(h *Handle) {
+	rt := t.rt
+	if rt.opts.Uncontrolled {
+		t.uncontrolledJoin(h)
+		return
+	}
+	for {
+		finished := false
+		t.critical(func() {
+			finished = rt.sch.ThreadJoin(t.id, h.t.id)
+			if finished {
+				rt.detMu.Lock()
+				rt.det.OnThreadJoin(t.id, h.t.id)
+				rt.detMu.Unlock()
+			}
+		})
+		if finished {
+			return
+		}
+		// We disabled ourselves; the next critical section blocks until
+		// the target exits and re-enables us, then the retried ThreadJoin
+		// reports completion.
+	}
+}
+
+// exit deregisters the thread; called by the runtime when fn returns.
+func (t *Thread) exit() {
+	if t.rt.opts.Uncontrolled {
+		return
+	}
+	t.critical(func() {
+		t.rt.sch.ThreadDelete(t.id)
+	})
+}
+
+// Nap sleeps for up to d of physical time (an invisible operation, used
+// for frame pacing and polling backoff). During replay it returns
+// immediately: pacing decisions derive from recorded clock reads, so the
+// replay runs as fast as the schedule allows.
+func (t *Thread) Nap(d time.Duration) {
+	if t.rt.rep != nil || d <= 0 {
+		return
+	}
+	if d > 20*time.Millisecond {
+		d = 20 * time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// Printf emits observable program output, collected into the report and
+// folded into the soft-desync hash.
+func (t *Thread) Printf(format string, args ...any) {
+	t.rt.emit([]byte(fmt.Sprintf(format, args...)))
+}
+
+// spin busy-waits for roughly d, modelling fixed per-event instrumentation
+// cost without yielding the OS thread.
+func spin(d time.Duration) {
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}

@@ -1,0 +1,67 @@
+package demo
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: the decoder must never panic or over-allocate on arbitrary
+// bytes — demos cross process boundaries (files, CI artefacts), so the
+// parser is an attack/corruption surface. Run with
+// `go test -fuzz FuzzDecode ./internal/demo` for continuous fuzzing; the
+// seed corpus runs as part of the normal test suite.
+
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("TSANREC1"))
+	f.Add(sampleDemo().Encode())
+	d := &Demo{Strategy: StrategyRandom, Seed1: 1, Seed2: 2}
+	f.Add(d.Encode())
+	corrupt := sampleDemo().Encode()
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode and decode to the same bytes
+		// (canonical form round trip).
+		enc := d.Encode()
+		d2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded demo failed: %v", err)
+		}
+		if !bytes.Equal(enc, d2.Encode()) {
+			t.Fatal("encoding is not a fixed point")
+		}
+	})
+}
+
+func FuzzRoundTripThroughReplayer(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 0, 2, 1})
+	f.Fuzz(func(t *testing.T, seed uint64, schedule []byte) {
+		if len(schedule) > 4096 {
+			return
+		}
+		r := NewRecorder(StrategyQueue, seed, seed+1)
+		for i, b := range schedule {
+			r.NoteSchedule(int32(b%4), uint64(i+1))
+		}
+		d := r.Finish(uint64(len(schedule)))
+		enc := d.Encode()
+		d2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of recorded demo: %v", err)
+		}
+		rep, err := NewReplayer(d2)
+		if err != nil {
+			t.Fatalf("replayer rejected round-tripped demo: %v", err)
+		}
+		for i, b := range schedule {
+			if rep.ScheduledAt(uint64(i+1)) != int32(b%4) {
+				t.Fatal("schedule did not survive serialisation")
+			}
+		}
+	})
+}

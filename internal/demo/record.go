@@ -1,0 +1,131 @@
+package demo
+
+import (
+	"sync"
+)
+
+// Recorder accumulates the constraint streams of an execution being
+// recorded. It is safe for concurrent use: the scheduler appends schedule,
+// signal and async events while the syscall layer appends syscall records.
+//
+// For the queue strategy the interleaving is stored exactly as §4.2
+// describes: a first-tick map plus a per-critical-section "next tick"
+// stream. We store the stream as deltas (next tick − current tick, 0 for
+// "never scheduled again") so that a thread scheduled many times in
+// succession yields a run of 1s, which the RLE coder collapses.
+type Recorder struct {
+	mu       sync.Mutex
+	strategy Strategy
+	seed1    uint64
+	seed2    uint64
+
+	queueFirst map[int32]uint64
+	queueDelta []uint64
+	lastTick   map[int32]uint64
+
+	signals  []SignalEvent
+	asyncs   []AsyncEvent
+	syscalls []SyscallRecord
+
+	outputHash uint64
+}
+
+// NewRecorder returns a Recorder for the given strategy and PRNG seeds.
+func NewRecorder(s Strategy, seed1, seed2 uint64) *Recorder {
+	return &Recorder{
+		strategy:   s,
+		seed1:      seed1,
+		seed2:      seed2,
+		queueFirst: make(map[int32]uint64),
+		lastTick:   make(map[int32]uint64),
+	}
+}
+
+// NoteSchedule records that thread tid executed the critical section with
+// (1-based) tick number tick. Only meaningful for the queue strategy; the
+// random strategy's schedule is implied by the seeds, so callers skip this.
+func (r *Recorder) NoteSchedule(tid int32, tick uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for uint64(len(r.queueDelta)) < tick {
+		r.queueDelta = append(r.queueDelta, 0)
+	}
+	if last, ok := r.lastTick[tid]; ok {
+		r.queueDelta[last-1] = tick - last
+	} else {
+		r.queueFirst[tid] = tick
+	}
+	r.lastTick[tid] = tick
+}
+
+// AddSignal appends a SIGNAL stream entry.
+func (r *Recorder) AddSignal(ev SignalEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.signals = append(r.signals, ev)
+}
+
+// AddAsync appends an ASYNC stream entry.
+func (r *Recorder) AddAsync(ev AsyncEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.asyncs = append(r.asyncs, ev)
+}
+
+// AddSyscall appends a SYSCALL stream entry.
+func (r *Recorder) AddSyscall(rec SyscallRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.syscalls = append(r.syscalls, rec)
+}
+
+// MixOutput folds an observable output byte sequence into the output hash
+// used for soft-desync detection (FNV-1a over the concatenated stream).
+func (r *Recorder) MixOutput(p []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.outputHash = mixHash(r.outputHash, p)
+}
+
+func mixHash(h uint64, p []byte) uint64 {
+	if h == 0 {
+		h = 1469598103934665603 // FNV offset basis
+	}
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SyscallCount reports the number of syscall records so far.
+func (r *Recorder) SyscallCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.syscalls)
+}
+
+// Finish freezes the recording into a Demo. finalTick is the scheduler's
+// tick counter at termination.
+func (r *Recorder) Finish(finalTick uint64) *Demo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := &Demo{
+		Strategy:   r.strategy,
+		Seed1:      r.seed1,
+		Seed2:      r.seed2,
+		FinalTick:  finalTick,
+		Signals:    append([]SignalEvent(nil), r.signals...),
+		Asyncs:     append([]AsyncEvent(nil), r.asyncs...),
+		Syscalls:   append([]SyscallRecord(nil), r.syscalls...),
+		OutputHash: r.outputHash,
+	}
+	if r.strategy == StrategyQueue {
+		d.Queue.FirstTick = make(map[int32]uint64, len(r.queueFirst))
+		for tid, t := range r.queueFirst {
+			d.Queue.FirstTick[tid] = t
+		}
+		d.Queue.Ticks = append([]uint64(nil), r.queueDelta...)
+	}
+	return d
+}

@@ -1,0 +1,176 @@
+package demo
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Replayer exposes a Demo's constraint streams as consumable cursors for
+// the scheduler and syscall layer. All methods are safe for concurrent use.
+type Replayer struct {
+	mu sync.Mutex
+	d  *Demo
+
+	// schedule[t] is the thread that must run critical section t
+	// (1-based), reconstructed from the queue stream. Nil for the random
+	// strategy, whose schedule is re-derived from the seeds.
+	schedule []int32
+
+	signalAt   map[sigKey][]int32
+	asyncAt    map[uint64][]AsyncEvent
+	sysCursor  int
+	outputHash uint64
+}
+
+type sigKey struct {
+	tid  int32
+	tick uint64
+}
+
+// NewReplayer builds a Replayer for d. It validates the queue stream's
+// internal consistency up front.
+func NewReplayer(d *Demo) (*Replayer, error) {
+	r := &Replayer{d: d,
+		signalAt: make(map[sigKey][]int32),
+		asyncAt:  make(map[uint64][]AsyncEvent),
+	}
+	for _, s := range d.Signals {
+		k := sigKey{s.TID, s.Tick}
+		r.signalAt[k] = append(r.signalAt[k], s.Sig)
+	}
+	for _, a := range d.Asyncs {
+		r.asyncAt[a.Tick] = append(r.asyncAt[a.Tick], a)
+	}
+	if d.Strategy == StrategyQueue {
+		r.schedule = make([]int32, d.FinalTick+1)
+		for i := range r.schedule {
+			r.schedule[i] = -1
+		}
+		for tid, first := range d.Queue.FirstTick {
+			t := first
+			for t != 0 && t <= d.FinalTick {
+				if r.schedule[t] != -1 {
+					return nil, fmt.Errorf("%w: tick %d scheduled twice", ErrCorrupt, t)
+				}
+				r.schedule[t] = tid
+				if t-1 >= uint64(len(d.Queue.Ticks)) {
+					break
+				}
+				delta := d.Queue.Ticks[t-1]
+				if delta == 0 {
+					break
+				}
+				t += delta
+			}
+		}
+		for t := uint64(1); t <= d.FinalTick; t++ {
+			if r.schedule[t] == -1 {
+				return nil, fmt.Errorf("%w: tick %d has no scheduled thread", ErrCorrupt, t)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Demo returns the underlying demo.
+func (r *Replayer) Demo() *Demo { return r.d }
+
+// ScheduledAt returns the thread required to run critical section t under
+// the queue strategy, or -1 past the end of the recording.
+func (r *Replayer) ScheduledAt(t uint64) int32 {
+	if r.schedule == nil || t >= uint64(len(r.schedule)) {
+		return -1
+	}
+	return r.schedule[t]
+}
+
+// SignalsAt consumes and returns the signals recorded for thread tid whose
+// preceding Tick had value tick.
+func (r *Replayer) SignalsAt(tid int32, tick uint64) []int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := sigKey{tid, tick}
+	sigs := r.signalAt[k]
+	if len(sigs) > 0 {
+		delete(r.signalAt, k)
+	}
+	return sigs
+}
+
+// AsyncsAt consumes and returns the async events floated to tick.
+func (r *Replayer) AsyncsAt(tick uint64) []AsyncEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evs := r.asyncAt[tick]
+	if len(evs) > 0 {
+		delete(r.asyncAt, tick)
+	}
+	return evs
+}
+
+// NextSyscall consumes the next SYSCALL record. The record's issuing thread
+// and kind must match the replaying call; a mismatch, or an exhausted
+// stream, is a hard desynchronisation.
+func (r *Replayer) NextSyscall(tid int32, kind uint16, tick uint64) (SyscallRecord, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sysCursor >= len(r.d.Syscalls) {
+		return SyscallRecord{}, &DesyncError{
+			Stream: "SYSCALL", Tick: tick,
+			Reason: fmt.Sprintf("thread %d issued syscall %d but the stream is exhausted", tid, kind),
+		}
+	}
+	rec := r.d.Syscalls[r.sysCursor]
+	if rec.TID != tid || rec.Kind != kind {
+		return SyscallRecord{}, &DesyncError{
+			Stream: "SYSCALL", Tick: tick,
+			Reason: fmt.Sprintf("thread %d issued syscall %d but the recording has thread %d syscall %d",
+				tid, kind, rec.TID, rec.Kind),
+		}
+	}
+	r.sysCursor++
+	return rec, nil
+}
+
+// MixOutput folds replayed observable output into the replay-side hash for
+// soft-desync comparison.
+func (r *Replayer) MixOutput(p []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.outputHash = mixHash(r.outputHash, p)
+}
+
+// LeftoverError returns a hard-desync error if, at the end of the replay,
+// recorded constraints were never consumed (signals that were never raised
+// or syscalls that were never re-issued), nil otherwise. finalTick is the
+// replay's final tick counter.
+func (r *Replayer) LeftoverError(finalTick uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.signalAt) > 0 {
+		for k := range r.signalAt {
+			return &DesyncError{
+				Stream: "SIGNAL", Tick: finalTick,
+				Reason: fmt.Sprintf("recorded signal for thread %d at tick %d was never delivered", k.tid, k.tick),
+			}
+		}
+	}
+	if r.sysCursor < len(r.d.Syscalls) {
+		rec := r.d.Syscalls[r.sysCursor]
+		return &DesyncError{
+			Stream: "SYSCALL", Tick: finalTick,
+			Reason: fmt.Sprintf("%d recorded syscalls were never re-issued (next: thread %d syscall %d)",
+				len(r.d.Syscalls)-r.sysCursor, rec.TID, rec.Kind),
+		}
+	}
+	return nil
+}
+
+// SoftDesynced reports whether the replay's observable output differed from
+// the recording's (soft desynchronisation, §4). Only meaningful after the
+// replay has finished.
+func (r *Replayer) SoftDesynced() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.outputHash != r.d.OutputHash
+}

@@ -1,0 +1,153 @@
+package env
+
+import "time"
+
+// Datagram sockets: the UDP-model transport the Doom-engine games actually
+// use for multiplayer. Datagrams are message-oriented (one Recvfrom returns
+// one packet, truncating like UDP), unordered across senders, and carry the
+// source port. Program-side calls are non-blocking like the rest of the
+// surface; external peers block with timeouts.
+
+type dgram struct {
+	from int
+	data []byte
+}
+
+// dgramSock is the per-fd datagram state.
+type dgramSock struct {
+	port  int // bound local port (0 = unbound)
+	inbox []dgram
+}
+
+// SocketDgram creates a datagram socket.
+func (w *World) SocketDgram() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.allocLocked(&fdesc{kind: FDSocket, dg: &dgramSock{}})
+}
+
+// BindDgram binds a datagram socket to a local port so peers can send to
+// it.
+func (w *World) BindDgram(fd, port int) Errno {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	d, ok := w.fds[fd]
+	if !ok || d.closed || d.dg == nil {
+		return EBADF
+	}
+	if _, taken := w.dgPorts[port]; taken {
+		return EADDRINUSE
+	}
+	d.dg.port = port
+	w.dgPorts[port] = d.dg
+	return OK
+}
+
+// Sendto sends one datagram from fd to the destination port (program or
+// external). Unbound senders get an ephemeral port assigned.
+func (w *World) Sendto(fd int, data []byte, toPort int) (int, Errno) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	d, ok := w.fds[fd]
+	if !ok || d.closed || d.dg == nil {
+		return -1, EBADF
+	}
+	if d.dg.port == 0 {
+		// Ephemeral bind.
+		for p := 49152; ; p++ {
+			if _, taken := w.dgPorts[p]; !taken {
+				d.dg.port = p
+				w.dgPorts[p] = d.dg
+				break
+			}
+		}
+	}
+	dst, ok := w.dgPorts[toPort]
+	if !ok {
+		return -1, ECONNREFUSED
+	}
+	dst.inbox = append(dst.inbox, dgram{from: d.dg.port, data: append([]byte(nil), data...)})
+	w.cond.Broadcast()
+	return len(data), OK
+}
+
+// Recvfrom receives one datagram (truncated to max, as UDP does), returning
+// the payload and source port; EAGAIN when the inbox is empty.
+func (w *World) Recvfrom(fd, max int) ([]byte, int, Errno) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	d, ok := w.fds[fd]
+	if !ok || d.closed || d.dg == nil {
+		return nil, 0, EBADF
+	}
+	if len(d.dg.inbox) == 0 {
+		return nil, 0, EAGAIN
+	}
+	pkt := d.dg.inbox[0]
+	d.dg.inbox = d.dg.inbox[1:]
+	data := pkt.data
+	if max < len(data) {
+		data = data[:max]
+	}
+	return data, pkt.from, OK
+}
+
+// ExtDgram is an external datagram endpoint (a remote game server's UDP
+// socket).
+type ExtDgram struct {
+	w    *World
+	sock *dgramSock
+}
+
+// ExternalDgram binds an external datagram endpoint on port.
+func (w *World) ExternalDgram(port int) (*ExtDgram, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, taken := w.dgPorts[port]; taken {
+		return nil, EADDRINUSE
+	}
+	sock := &dgramSock{port: port}
+	w.dgPorts[port] = sock
+	return &ExtDgram{w: w, sock: sock}, nil
+}
+
+// Send transmits one datagram to a program-side (or external) port.
+func (e *ExtDgram) Send(data []byte, toPort int) error {
+	e.w.mu.Lock()
+	defer e.w.mu.Unlock()
+	if e.w.closed {
+		return ErrWorldClosed
+	}
+	dst, ok := e.w.dgPorts[toPort]
+	if !ok {
+		return ECONNREFUSED
+	}
+	dst.inbox = append(dst.inbox, dgram{from: e.sock.port, data: append([]byte(nil), data...)})
+	e.w.cond.Broadcast()
+	return nil
+}
+
+// Recv blocks until a datagram arrives or the timeout elapses, returning
+// payload and source port.
+func (e *ExtDgram) Recv(max int, timeout time.Duration) ([]byte, int, error) {
+	deadline := time.Now().Add(timeout)
+	e.w.mu.Lock()
+	defer e.w.mu.Unlock()
+	for {
+		if e.w.closed {
+			return nil, 0, ErrWorldClosed
+		}
+		if len(e.sock.inbox) > 0 {
+			pkt := e.sock.inbox[0]
+			e.sock.inbox = e.sock.inbox[1:]
+			data := pkt.data
+			if max < len(data) {
+				data = data[:max]
+			}
+			return data, pkt.from, nil
+		}
+		if !e.w.waitUntilLocked(deadline) {
+			return nil, 0, ErrTimeout
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package env
+
+import (
+	"errors"
+	"time"
+)
+
+// The External* surface is used by the "outside world" — load generators,
+// remote game servers, keyboards — which runs as ordinary goroutines
+// outside the controlled scheduler. Unlike the program-side surface these
+// calls may block, and their timing is genuinely nondeterministic, which is
+// exactly the nondeterminism the recorder captures.
+
+// ErrWorldClosed is returned by external operations after Shutdown.
+var ErrWorldClosed = errors.New("env: world closed")
+
+// ErrTimeout is returned by external operations that exceed their deadline.
+var ErrTimeout = errors.New("env: external operation timed out")
+
+// ExtConn is the external endpoint of a connection to the program under
+// test. The external side reads dir[1] and writes dir[0].
+type ExtConn struct {
+	w *World
+	b *buffers
+}
+
+// ExternalConnect dials a program-side listener on port, blocking until the
+// listener exists (or timeout elapses).
+func (w *World) ExternalConnect(port int, timeout time.Duration) (*ExtConn, error) {
+	deadline := time.Now().Add(timeout)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.closed {
+			return nil, ErrWorldClosed
+		}
+		if l, ok := w.ports[port]; ok && !l.closed {
+			b := &buffers{refCount: 2}
+			l.backlog = append(l.backlog, b)
+			w.cond.Broadcast()
+			return &ExtConn{w: w, b: b}, nil
+		}
+		if !w.waitUntilLocked(deadline) {
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// waitUntilLocked waits for a broadcast or the deadline; reports whether
+// the deadline is still in the future. Uses a helper goroutine timer so
+// callers simply loop.
+func (w *World) waitUntilLocked(deadline time.Time) bool {
+	if time.Now().After(deadline) {
+		return false
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-time.After(time.Until(deadline)):
+			w.mu.Lock()
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		case <-done:
+		}
+	}()
+	w.cond.Wait()
+	close(done)
+	return true
+}
+
+// Send writes data toward the program.
+func (c *ExtConn) Send(data []byte) error {
+	c.w.mu.Lock()
+	defer c.w.mu.Unlock()
+	if c.w.closed {
+		return ErrWorldClosed
+	}
+	if c.b.closed[0] || c.b.refCount < 2 {
+		return EPIPE
+	}
+	c.b.dir[0] = append(c.b.dir[0], data...)
+	c.w.cond.Broadcast()
+	return nil
+}
+
+// Recv reads up to max bytes from the program, blocking until data, EOF
+// (nil, nil), or timeout.
+func (c *ExtConn) Recv(max int, timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
+	c.w.mu.Lock()
+	defer c.w.mu.Unlock()
+	for {
+		if c.w.closed {
+			return nil, ErrWorldClosed
+		}
+		if len(c.b.dir[1]) > 0 {
+			n := max
+			if n > len(c.b.dir[1]) {
+				n = len(c.b.dir[1])
+			}
+			out := append([]byte(nil), c.b.dir[1][:n]...)
+			c.b.dir[1] = c.b.dir[1][n:]
+			c.w.cond.Broadcast()
+			return out, nil
+		}
+		if c.b.closed[1] {
+			return nil, nil // EOF
+		}
+		if !c.w.waitUntilLocked(deadline) {
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// Close closes the external endpoint.
+func (c *ExtConn) Close() {
+	c.w.mu.Lock()
+	defer c.w.mu.Unlock()
+	if c.b.refCount > 0 {
+		c.b.closed[0] = true
+		c.b.refCount--
+		c.w.cond.Broadcast()
+	}
+}
+
+// ExtListener is an external server socket the program under test can
+// Connect to (e.g. the remote game server of §5.4).
+type ExtListener struct {
+	w    *World
+	port int
+}
+
+// ExternalListen registers an external listener on port.
+func (w *World) ExternalListen(port int) *ExtListener {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.extPort[port] = &extListener{port: port}
+	return &ExtListener{w: w, port: port}
+}
+
+// Accept blocks until a program-side Connect arrives or timeout elapses.
+func (l *ExtListener) Accept(timeout time.Duration) (*ExtConn, error) {
+	deadline := time.Now().Add(timeout)
+	l.w.mu.Lock()
+	defer l.w.mu.Unlock()
+	for {
+		if l.w.closed {
+			return nil, ErrWorldClosed
+		}
+		el := l.w.extPort[l.port]
+		if el != nil && len(el.pending) > 0 {
+			b := el.pending[0]
+			el.pending = el.pending[1:]
+			return &ExtConn{w: l.w, b: b}, nil
+		}
+		if !l.w.waitUntilLocked(deadline) {
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// RegisterSignalSink registers a callback invoked by Kill. The runtime
+// registers itself here so external signals reach the scheduler.
+func (w *World) RegisterSignalSink(sink func(sig int32)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sigSinks = append(w.sigSinks, sink)
+}
+
+// Kill delivers an asynchronous signal to the process under test, from the
+// external world (the virtual equivalent of `kill(pid, sig)`).
+func (w *World) Kill(sig int32) {
+	w.mu.Lock()
+	sinks := make([]func(int32), len(w.sigSinks))
+	copy(sinks, w.sigSinks)
+	w.mu.Unlock()
+	for _, s := range sinks {
+		s(sig)
+	}
+}
+
+// Shutdown closes the world: external operations unblock with
+// ErrWorldClosed.
+func (w *World) Shutdown() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	w.cond.Broadcast()
+}
+
+// ExternalRand exposes external-world entropy for injectors (jitter,
+// payload variation). Never recorded; never used by the program under test.
+func (w *World) ExternalRand() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextRandLocked()
+}

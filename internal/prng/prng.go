@@ -1,0 +1,113 @@
+// Package prng provides the deterministic pseudo-random number generator
+// used by the scheduler and the memory model.
+//
+// The paper seeds its PRNG with two calls to rdtsc(); we mirror that with a
+// two-word seed. Replaying an execution only requires the same two seeds and
+// the same sequence of draws, so the generator must be fully deterministic
+// and portable: this is xoshiro256** seeded through SplitMix64, both with
+// published reference outputs.
+package prng
+
+import "math/bits"
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// usable; construct with New. Source is not safe for concurrent use; the
+// scheduler serialises access inside critical sections.
+type Source struct {
+	s     [4]uint64
+	seed1 uint64
+	seed2 uint64
+	draws uint64
+}
+
+// New returns a Source initialised from two seed words, mirroring the
+// paper's two rdtsc() calls. Any pair of seeds, including zeros, yields a
+// valid non-degenerate state because seeding goes through SplitMix64.
+func New(seed1, seed2 uint64) *Source {
+	src := &Source{seed1: seed1, seed2: seed2}
+	sm := seed1 ^ bits.RotateLeft64(seed2, 32)
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return src
+}
+
+// Seeds returns the two seed words the Source was constructed with. These
+// are the only state that the random scheduling strategy records in a demo.
+func (src *Source) Seeds() (uint64, uint64) { return src.seed1, src.seed2 }
+
+// Draws reports how many 64-bit values have been generated. Replay
+// validation uses this to detect divergence in PRNG consumption.
+func (src *Source) Draws() uint64 { return src.draws }
+
+// Uint64 returns the next value in the xoshiro256** sequence.
+func (src *Source) Uint64() uint64 {
+	src.draws++
+	result := bits.RotateLeft64(src.s[1]*5, 7) * 9
+	t := src.s[1] << 17
+	src.s[2] ^= src.s[0]
+	src.s[3] ^= src.s[1]
+	src.s[1] ^= src.s[2]
+	src.s[0] ^= src.s[3]
+	src.s[2] ^= t
+	src.s[3] = bits.RotateLeft64(src.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (src *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(src.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (src *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with zero n")
+	}
+	// Fast path for powers of two keeps draw counts predictable for the
+	// common mask-sized requests.
+	if n&(n-1) == 0 {
+		return src.Uint64() & (n - 1)
+	}
+	for {
+		v := src.Uint64()
+		hi, lo := bits.Mul64(v, n)
+		if lo >= n || lo >= -n%n {
+			return hi
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (src *Source) Float64() float64 {
+	return float64(src.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a uniform boolean.
+func (src *Source) Bool() bool { return src.Uint64()&1 == 1 }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (src *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := src.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Clone returns an independent copy of the Source with identical state,
+// including the draw counter. Useful for lookahead in tests.
+func (src *Source) Clone() *Source {
+	dup := *src
+	return &dup
+}

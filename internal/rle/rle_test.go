@@ -1,0 +1,147 @@
+package rle
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64RoundTrip(t *testing.T) {
+	cases := [][]uint64{
+		nil,
+		{},
+		{0},
+		{1, 1, 1, 1},
+		{1, 2, 3, 4},
+		{7, 7, 7, 2, 2, 9},
+		{1 << 63, 1 << 63, 42},
+	}
+	for _, vals := range cases {
+		enc := AppendUint64s(nil, vals)
+		dec, n, err := DecodeUint64s(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", vals, err)
+		}
+		if n != len(enc) {
+			t.Errorf("%v: consumed %d of %d bytes", vals, n, len(enc))
+		}
+		if len(dec) != len(vals) {
+			t.Fatalf("%v: got %v", vals, dec)
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				t.Fatalf("%v: got %v", vals, dec)
+			}
+		}
+	}
+}
+
+func TestUint64RoundTripProperty(t *testing.T) {
+	prop := func(vals []uint64) bool {
+		enc := AppendUint64s(nil, vals)
+		dec, n, err := DecodeUint64s(enc)
+		if err != nil || n != len(enc) || len(dec) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUint64CompressionOfRuns(t *testing.T) {
+	run := make([]uint64, 10000)
+	for i := range run {
+		run[i] = 1
+	}
+	enc := AppendUint64s(nil, run)
+	if len(enc) > 16 {
+		t.Errorf("10000-long run encoded to %d bytes, want <= 16", len(enc))
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0xFF},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		[]byte("hello world"),
+		bytes.Repeat([]byte{0}, 5000),
+		{1, 1, 1, 1, 2, 0xFF, 0xFF, 3},
+	}
+	for _, data := range cases {
+		enc := AppendBytes(nil, data)
+		dec, n, err := DecodeBytes(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", data, err)
+		}
+		if n != len(enc) {
+			t.Errorf("consumed %d of %d bytes", n, len(enc))
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("round trip failed for %v: got %v", data, dec)
+		}
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	prop := func(data []byte) bool {
+		enc := AppendBytes(nil, data)
+		dec, n, err := DecodeBytes(enc)
+		return err == nil && n == len(enc) && bytes.Equal(dec, data)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesCompressesZeroBuffers(t *testing.T) {
+	data := make([]byte, 64<<10)
+	enc := AppendBytes(nil, data)
+	if len(enc) > 16 {
+		t.Errorf("64KiB of zeros encoded to %d bytes", len(enc))
+	}
+}
+
+func TestBytesAppendsAfterPrefix(t *testing.T) {
+	prefix := []byte("prefix")
+	enc := AppendBytes(append([]byte(nil), prefix...), []byte("data"))
+	if !bytes.HasPrefix(enc, prefix) {
+		t.Fatal("Append overwrote the destination prefix")
+	}
+	dec, _, err := DecodeBytes(enc[len(prefix):])
+	if err != nil || string(dec) != "data" {
+		t.Fatalf("decode after prefix: %v %q", err, dec)
+	}
+}
+
+func TestDecodeCorruptInputs(t *testing.T) {
+	for _, bad := range [][]byte{
+		{},              // empty
+		{0x80},          // truncated varint
+		{5, 0xFF},       // truncated escape
+		{5, 0xFF, 1},    // missing count
+		{2, 0xFF, 7, 9}, // escape overruns declared length
+	} {
+		if _, _, err := DecodeBytes(bad); err == nil {
+			t.Errorf("DecodeBytes(%v) accepted corrupt input", bad)
+		}
+	}
+	for _, bad := range [][]byte{
+		{0x80},
+		{1, 0x80},
+		{1, 5},
+		{1, 5, 0}, // zero-length run
+	} {
+		if _, _, err := DecodeUint64s(bad); err == nil {
+			t.Errorf("DecodeUint64s(%v) accepted corrupt input", bad)
+		}
+	}
+}

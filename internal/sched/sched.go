@@ -1,0 +1,551 @@
+// Package sched implements the paper's controlled scheduler (§3): a
+// cooperative protocol in which threads of the program under test serialise
+// their visible operations through Wait()/Tick() critical sections while
+// invisible regions run in parallel, plus the record/replay hooks of §4.
+//
+// There is no overarching scheduler thread. Scheduling decisions live in a
+// designated piece of shared state (the Scheduler struct) that threads
+// update cooperatively:
+//
+//	Wait(tid) — block until the scheduler activates tid.
+//	Tick(tid) — complete tid's visible operation and choose the next
+//	            thread to activate.
+//
+// The combination of a visible operation and its Wait/Tick pair is a
+// critical section; exactly one thread is inside a critical section at any
+// moment, and all nondeterministic choices (strategy decisions, mutex wake
+// choices, memory-model value choices via Rand) are made inside critical
+// sections so that replay reproduces them exactly.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/demo"
+	"repro/internal/prng"
+	"repro/internal/vclock"
+)
+
+// TID identifies a thread under test; an alias of the race detector's
+// thread id so the two layers share identities. TID 0 is the main thread.
+type TID = vclock.TID
+
+// NoTID is the sentinel for "no thread".
+const NoTID TID = -1
+
+// ErrShutdown is the abort cause delivered to threads that are still live
+// when the runtime shuts down (the process-exit-kills-threads semantics of
+// the programs the paper studies).
+var ErrShutdown = errors.New("sched: runtime shut down")
+
+// Abort is the panic payload used to unwind a thread of the program under
+// test when the scheduler stops (desync, deadlock, stall, shutdown). The
+// runtime's goroutine wrappers recover it.
+type Abort struct{ Err error }
+
+// DeadlockError reports that every live thread was disabled: a genuine
+// deadlock in the program under test.
+type DeadlockError struct {
+	Tick    uint64
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sched: deadlock at tick %d: all live threads blocked [%s]",
+		e.Tick, strings.Join(e.Blocked, ", "))
+}
+
+// StalledError reports that the execution exceeded the configured tick
+// budget, the guard against runaway schedules in tests and benchmarks.
+type StalledError struct{ Tick uint64 }
+
+func (e *StalledError) Error() string {
+	return fmt.Sprintf("sched: execution exceeded %d ticks", e.Tick)
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Kind selects the scheduling strategy.
+	Kind demo.Strategy
+	// Seed1, Seed2 initialise the PRNG (the paper seeds with two rdtsc
+	// calls; callers supply the two words).
+	Seed1, Seed2 uint64
+	// Recorder, if non-nil, receives the QUEUE/SIGNAL/ASYNC streams.
+	Recorder *demo.Recorder
+	// Replayer, if non-nil, drives the schedule and event delivery from a
+	// demo. Recorder and Replayer are mutually exclusive.
+	Replayer *demo.Replayer
+	// MaxTicks aborts the execution after this many critical sections
+	// (0 = unlimited).
+	MaxTicks uint64
+	// PCTDepth is the bug depth d for the PCT strategy (priority change
+	// points = d-1). Ignored by other strategies; defaults to 3.
+	PCTDepth int
+	// PCTLength is PCT's a-priori estimate of execution length in visible
+	// operations, used to place change points. Defaults to 4096.
+	PCTLength uint64
+}
+
+type thread struct {
+	id          TID
+	name        string
+	enabled     bool
+	done        bool
+	inWait      bool
+	midCritical bool
+	started     bool
+	lastTick    uint64
+
+	waitMutex uint64 // nonzero if disabled waiting for this mutex
+	waitCond  uint64 // nonzero if registered as waiter on this condvar
+	condTimed bool
+	condTaken bool // received a cond signal since registering
+
+	waitJoin    TID // target of a blocking join, NoTID otherwise
+	joinWaiters []TID
+
+	pendingSigs []int32
+
+	pctPriority uint64 // PCT only; higher runs first
+}
+
+// Scheduler is the shared scheduling state. All exported methods are safe
+// for concurrent use by the threads under test and the external world.
+type Scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	opts     Options
+	rng      *prng.Source
+	strategy strategy
+
+	threads []*thread
+	live    int
+	current TID
+	tick    uint64
+
+	// queue is the FCFS arrival queue for the queue strategy.
+	queue []TID
+
+	// mutexWaiters and condWaiters track which threads are blocked on
+	// which mutex or condition variable, in arrival order.
+	mutexWaiters map[uint64][]TID
+	condWaiters  map[uint64][]TID
+
+	stopped  bool
+	stopErr  error
+	finished bool
+
+	// recent is a flight recorder of the last scheduling decisions,
+	// surfaced in desynchronisation diagnostics.
+	recent [64]recentTick
+}
+
+// recentTick is one flight-recorder entry.
+type recentTick struct {
+	Tick uint64
+	TID  TID
+}
+
+// New constructs a Scheduler with a registered main thread (TID 0) that is
+// the initial current thread.
+func New(opts Options) (*Scheduler, error) {
+	if opts.Recorder != nil && opts.Replayer != nil {
+		return nil, errors.New("sched: cannot both record and replay")
+	}
+	if opts.Replayer != nil && opts.Replayer.Demo().Strategy != opts.Kind {
+		return nil, fmt.Errorf("sched: demo was recorded with strategy %v, not %v",
+			opts.Replayer.Demo().Strategy, opts.Kind)
+	}
+	s := &Scheduler{
+		opts:         opts,
+		rng:          prng.New(opts.Seed1, opts.Seed2),
+		mutexWaiters: make(map[uint64][]TID),
+		condWaiters:  make(map[uint64][]TID),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	switch opts.Kind {
+	case demo.StrategyRandom:
+		s.strategy = &randomStrategy{}
+	case demo.StrategyQueue:
+		s.strategy = &queueStrategy{}
+	case demo.StrategyPCT:
+		d := opts.PCTDepth
+		if d <= 0 {
+			d = 3
+		}
+		n := opts.PCTLength
+		if n == 0 {
+			n = 4096
+		}
+		st := &pctStrategy{}
+		st.init(s, d, n)
+		s.strategy = st
+	case demo.StrategyDelay:
+		d := opts.PCTDepth // reuse the depth knob as the delay budget
+		if d <= 0 {
+			d = 3
+		}
+		n := opts.PCTLength
+		if n == 0 {
+			n = 4096
+		}
+		st := &delayStrategy{}
+		st.init(s, d, n)
+		s.strategy = st
+	default:
+		return nil, fmt.Errorf("sched: unknown strategy %v", opts.Kind)
+	}
+	main := &thread{id: 0, name: "main", enabled: true, waitJoin: NoTID}
+	s.threads = append(s.threads, main)
+	s.live = 1
+	s.current = 0
+	s.strategy.onNew(s, main)
+	return s, nil
+}
+
+// Rand returns the scheduler's PRNG. It must only be used from inside a
+// critical section (between Wait and Tick) so that draw order is
+// deterministic under replay.
+func (s *Scheduler) Rand() *prng.Source { return s.rng }
+
+// TickCount returns the number of completed critical sections.
+func (s *Scheduler) TickCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tick
+}
+
+// LastTick returns the tick value of tid's most recently completed critical
+// section.
+func (s *Scheduler) LastTick(tid TID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.threads[tid].lastTick
+}
+
+// Err returns the error that stopped the scheduler, if any.
+func (s *Scheduler) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopErr
+}
+
+func (s *Scheduler) abortLocked() {
+	panic(Abort{s.stopErr})
+}
+
+func (s *Scheduler) failLocked(err error) {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.stopErr = err
+	s.cond.Broadcast()
+}
+
+// Stop aborts the execution: every thread blocked in (or next arriving at)
+// Wait unwinds with an Abort carrying err.
+func (s *Scheduler) Stop(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failLocked(err)
+}
+
+// Wait blocks tid until the scheduler activates it. It must be called
+// immediately before each visible operation.
+func (s *Scheduler) Wait(tid TID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	th := s.threads[tid]
+	th.inWait = true
+	s.strategy.onWait(s, th)
+	if s.current == NoTID {
+		s.advanceLocked()
+	}
+	for !(s.current == tid && th.enabled) {
+		if s.stopped {
+			th.inWait = false
+			s.abortLocked()
+		}
+		s.cond.Wait()
+	}
+	if s.stopped {
+		th.inWait = false
+		s.abortLocked()
+	}
+	th.inWait = false
+	th.midCritical = true
+	th.started = true
+}
+
+// Tick completes tid's visible operation: it advances the logical clock,
+// emits record streams, delivers floated replay events, and chooses the
+// next thread to activate.
+func (s *Scheduler) Tick(tid TID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	th := s.threads[tid]
+	if s.current != tid || !th.midCritical {
+		panic(fmt.Sprintf("sched: protocol violation: Tick by thread %d (current %d, midCritical %v)",
+			tid, s.current, th.midCritical))
+	}
+	s.tick++
+	t := s.tick
+	th.lastTick = t
+	th.midCritical = false
+	s.recent[t%uint64(len(s.recent))] = recentTick{Tick: t, TID: tid}
+
+	if s.opts.Recorder != nil && s.opts.Kind == demo.StrategyQueue {
+		s.opts.Recorder.NoteSchedule(int32(tid), t)
+	}
+	if s.opts.MaxTicks > 0 && t > s.opts.MaxTicks {
+		s.failLocked(&StalledError{t})
+		s.abortLocked()
+	}
+
+	// Replay: signals recorded against this thread's Tick at t are raised
+	// "at the end of Tick()" (§4.3): queue them as pending so the thread
+	// enters its handler at the next visible-operation boundary.
+	if rep := s.opts.Replayer; rep != nil {
+		for _, sig := range rep.SignalsAt(int32(tid), t) {
+			th.pendingSigs = append(th.pendingSigs, sig)
+		}
+	}
+
+	// Replay: asynchronous events recorded with tick t occurred in the
+	// window after Tick t's decision and before the next critical section
+	// (signal wakeups of disabled threads, forced reschedules).
+	//
+	// Under the random strategy they must be applied AFTER this Tick's
+	// scheduling decision, so the enabled-thread pool and the PRNG draw
+	// sequence evolve exactly as during recording (§4.5). Under the queue
+	// strategy the demo dictates the schedule outright — no draws — so
+	// wakeups are applied BEFORE the decision: the recorded schedule may
+	// place the woken thread at the very next tick, and deciding first
+	// would see it still disabled and falsely hard-desynchronise.
+	rep := s.opts.Replayer
+	queueReplay := rep != nil && s.opts.Kind == demo.StrategyQueue
+	if queueReplay {
+		for _, ev := range rep.AsyncsAt(t) {
+			s.applyAsyncLocked(ev)
+		}
+	}
+
+	// The scheduling decision for the next critical section.
+	s.current = NoTID
+	s.advanceLocked()
+
+	if rep != nil && !queueReplay {
+		for _, ev := range rep.AsyncsAt(t) {
+			s.applyAsyncLocked(ev)
+		}
+	}
+	s.cond.Broadcast()
+}
+
+func (s *Scheduler) applyAsyncLocked(ev demo.AsyncEvent) {
+	switch ev.Kind {
+	case demo.AsyncSignalWakeup, demo.AsyncTimerWakeup:
+		th := s.threads[ev.TID]
+		if !th.done && !th.enabled {
+			s.wakeLocked(th)
+			// Mirror the record-side path, which advances only when no
+			// thread was scheduled at the moment the wakeup occurred.
+			if s.current == NoTID {
+				s.advanceLocked()
+			}
+		}
+	case demo.AsyncReschedule:
+		// Re-run the scheduling decision unconditionally: the recorded
+		// reschedule consumed a strategy decision (and, for the random
+		// strategy, a PRNG draw), so replay must consume one too even if
+		// the bypassed thread has since arrived at Wait.
+		s.current = NoTID
+		s.advanceLocked()
+	}
+}
+
+// wakeLocked enables a disabled thread and clears its blocked-on state,
+// including its entry in any mutex waiter list (the thread will re-add
+// itself via MutexLockFail if its retried trylock fails).
+func (s *Scheduler) wakeLocked(th *thread) {
+	th.enabled = true
+	if m := th.waitMutex; m != 0 {
+		waiters := s.mutexWaiters[m]
+		for i, w := range waiters {
+			if w == th.id {
+				s.mutexWaiters[m] = append(waiters[:i], waiters[i+1:]...)
+				break
+			}
+		}
+		if len(s.mutexWaiters[m]) == 0 {
+			delete(s.mutexWaiters, m)
+		}
+		th.waitMutex = 0
+	}
+	th.waitJoin = NoTID
+	// Cond registration is deliberately kept: a woken thread can still
+	// "eat" a cond signal until it deregisters (§3.2).
+}
+
+// advanceLocked chooses the next current thread when none is set.
+func (s *Scheduler) advanceLocked() {
+	if s.stopped || s.finished || s.current != NoTID {
+		return
+	}
+	if s.live == 0 {
+		s.finished = true
+		return
+	}
+	// Queue replay: the demo dictates the thread for the next tick.
+	if rep := s.opts.Replayer; rep != nil && s.opts.Kind == demo.StrategyQueue {
+		want := rep.ScheduledAt(s.tick + 1)
+		if want >= 0 {
+			th := s.threads[want]
+			if th.done {
+				s.failLocked(&demo.DesyncError{
+					Stream: "QUEUE", Tick: s.tick + 1,
+					Reason: fmt.Sprintf("scheduled thread %d has already exited", want),
+				})
+				return
+			}
+			if !th.enabled {
+				s.failLocked(&demo.DesyncError{
+					Stream: "QUEUE", Tick: s.tick + 1,
+					Reason: fmt.Sprintf("scheduled thread %d is blocked", want),
+				})
+				return
+			}
+			s.current = TID(want)
+			return
+		}
+		// Past the end of the recording: fall through to live strategy.
+	}
+	next := s.strategy.next(s)
+	if next == NoTID {
+		// Either every live thread is disabled (a deadlock, unless an
+		// external signal arrives to rescue it — the idle watchdog
+		// decides after a grace period), or some threads are enabled but
+		// have not yet arrived at Wait (queue strategy): the next arrival
+		// becomes current via Wait's advance call.
+		return
+	}
+	s.current = next
+}
+
+// Idle reports whether the execution can make no progress on its own:
+// live threads remain but none is enabled and none is scheduled. The
+// runtime's watchdog declares deadlock when this persists across a grace
+// period (an external signal can still rescue an idle state, so declaring
+// immediately would be premature).
+func (s *Scheduler) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.stopped && !s.finished && s.live > 0 &&
+		s.current == NoTID && !s.anyEnabledLocked()
+}
+
+// DeclareDeadlock stops the execution with a DeadlockError if it is still
+// idle. Called by the runtime's watchdog.
+func (s *Scheduler) DeclareDeadlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped || s.finished || s.live == 0 ||
+		s.current != NoTID || s.anyEnabledLocked() {
+		return
+	}
+	s.failLocked(&DeadlockError{Tick: s.tick, Blocked: s.blockedNamesLocked()})
+}
+
+func (s *Scheduler) anyEnabledLocked() bool {
+	for _, th := range s.threads {
+		if !th.done && th.enabled {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Scheduler) blockedNamesLocked() []string {
+	var names []string
+	for _, th := range s.threads {
+		if th.done {
+			continue
+		}
+		why := "blocked"
+		switch {
+		case th.waitMutex != 0:
+			why = fmt.Sprintf("mutex %#x", th.waitMutex)
+		case th.waitCond != 0:
+			why = fmt.Sprintf("cond %#x", th.waitCond)
+		case th.waitJoin != NoTID:
+			why = fmt.Sprintf("join %d", th.waitJoin)
+		}
+		names = append(names, fmt.Sprintf("%s(t%d): %s", th.name, th.id, why))
+	}
+	return names
+}
+
+// ForceReschedule is called by the runtime's background rescheduler when
+// the current thread has spent too long in an invisible region. It is a
+// no-op in replay mode, where reschedules come from the ASYNC stream.
+func (s *Scheduler) ForceReschedule() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped || s.finished || s.opts.Replayer != nil {
+		return
+	}
+	if s.current != NoTID {
+		th := s.threads[s.current]
+		if th.inWait || th.midCritical {
+			return
+		}
+	} else {
+		return
+	}
+	old := s.current
+	if s.opts.Recorder != nil {
+		s.opts.Recorder.AddAsync(demo.AsyncEvent{
+			Kind: demo.AsyncReschedule, Tick: s.tick, TID: int32(old),
+		})
+	}
+	s.current = NoTID
+	s.advanceLocked()
+	s.cond.Broadcast()
+}
+
+// Finished reports whether every thread has completed.
+func (s *Scheduler) Finished() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.finished
+}
+
+// ThreadSettled reports whether tid has run as far as it can on its own:
+// it has completed, or it is disabled waiting for another thread. Used by
+// the runtime's spawn-settling delay, which models the head start a
+// pthread-created thread has over later siblings.
+func (s *Scheduler) ThreadSettled(tid TID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	th := s.threads[tid]
+	return th.done || !th.enabled
+}
+
+// LiveThreads returns the number of threads that have not completed.
+func (s *Scheduler) LiveThreads() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// ThreadCount returns the total number of threads ever created.
+func (s *Scheduler) ThreadCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.threads)
+}

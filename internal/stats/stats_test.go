@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleOf(xs ...float64) *Sample {
+	s := &Sample{}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+func TestMeanStdDev(t *testing.T) {
+	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample (n-1) standard deviation of this classic set is ~2.138.
+	if got := s.StdDev(); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	s := &Sample{}
+	if s.Mean() != 0 || s.StdDev() != 0 || s.CV() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestCV(t *testing.T) {
+	s := sampleOf(10, 10, 10)
+	if s.CV() != 0 {
+		t.Errorf("constant sample CV = %v, want 0", s.CV())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := sampleOf(3, -1, 7, 2)
+	if s.Min() != -1 || s.Max() != 7 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	s := sampleOf(1, 2, 3, 4, 5)
+	if s.Median() != 3 {
+		t.Errorf("Median = %v, want 3", s.Median())
+	}
+	if q := s.Quantile(0.25); q != 2 {
+		t.Errorf("Q25 = %v, want 2", q)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("Q0 = %v, want 1", q)
+	}
+	if q := s.Quantile(1); q != 5 {
+		t.Errorf("Q1 = %v, want 5", q)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	prop := func(xs []float64, aRaw, bRaw uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		s := &Sample{}
+		for _, x := range xs {
+			s.Add(x)
+		}
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		return s.Quantile(a) <= s.Quantile(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBounds(t *testing.T) {
+	prop := func(xs []float64) bool {
+		s := &Sample{}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				return true
+			}
+			s.Add(x)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-6 && m <= s.Max()+1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	s := &Sample{}
+	s.AddDuration(1500 * time.Millisecond)
+	if s.Mean() != 1500 {
+		t.Errorf("AddDuration stored %v ms, want 1500", s.Mean())
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	s := sampleOf(1, 3)
+	if got := s.Summary(1); got != "2.0 (1.4)" {
+		t.Errorf("Summary = %q", got)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if Overhead(100, 10) != 10 {
+		t.Error("Overhead(100, 10) != 10")
+	}
+	if !math.IsInf(Overhead(5, 0), 1) {
+		t.Error("Overhead with zero mean should be +Inf")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "22") {
+		t.Errorf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}

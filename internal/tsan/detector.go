@@ -1,0 +1,180 @@
+// Package tsan implements the tsan11-model dynamic race detector the tool
+// builds on (§2; Lidbury & Donaldson, POPL 2017): vector-clock
+// happens-before tracking for non-atomic accesses, plus a fragment of the
+// C++11 memory model for atomics — store histories so relaxed loads can
+// read stale values, release/acquire synchronisation, release sequences
+// through read-modify-writes, seq_cst ordering, and fences.
+//
+// Concurrency invariant: every method of this package is called from inside
+// a scheduler critical section (between Wait and Tick). Critical sections
+// are globally serialised and connected by happens-before edges through the
+// scheduler's mutex, so detector state needs no locking of its own and all
+// PRNG draws (stale-value selection) occur in a deterministic global order,
+// which is what makes record/replay of weak-memory behaviours possible.
+package tsan
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+	"repro/internal/vclock"
+)
+
+// TID aliases the scheduler's thread id.
+type TID = vclock.TID
+
+// MemoryOrder is the C++11 memory order of an atomic operation.
+type MemoryOrder int
+
+// Memory orders (memory_order_consume is treated as acquire, as tsan11
+// does).
+const (
+	Relaxed MemoryOrder = iota
+	Acquire
+	Release
+	AcqRel
+	SeqCst
+)
+
+func (o MemoryOrder) String() string {
+	switch o {
+	case Relaxed:
+		return "relaxed"
+	case Acquire:
+		return "acquire"
+	case Release:
+		return "release"
+	case AcqRel:
+		return "acq_rel"
+	case SeqCst:
+		return "seq_cst"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+func (o MemoryOrder) acquires() bool { return o == Acquire || o == AcqRel || o == SeqCst }
+func (o MemoryOrder) releases() bool { return o == Release || o == AcqRel || o == SeqCst }
+
+// Options configures a Detector.
+type Options struct {
+	// HistoryDepth bounds each atomic location's store history; older
+	// stores are evicted and can no longer be read (tsan11 keeps a
+	// similar bounded buffer). Default 8.
+	HistoryDepth int
+	// SequentialConsistency forces every atomic load to read the newest
+	// store, disabling weak-memory behaviours. This models the plain
+	// "tsan" semantics the paper contrasts with tsan11 and is used by the
+	// ablation benchmarks.
+	SequentialConsistency bool
+	// MaxReports bounds the number of race reports retained. Default 128.
+	MaxReports int
+}
+
+// Detector is the race-detection and memory-model engine.
+type Detector struct {
+	opts Options
+	rng  *prng.Source
+
+	clocks []*vclock.Clock // per-thread vector clocks
+
+	// scClock orders seq_cst operations: the single total order S of
+	// C++11 is approximated by a clock joined at every seq_cst op.
+	scClock *vclock.Clock
+
+	// pendingAcquire accumulates, per thread, the release clocks of
+	// stores read by relaxed loads, to be claimed by a later acquire
+	// fence (C++11 §29.8: fence synchronisation).
+	pendingAcquire []*vclock.Clock
+
+	// releaseFence holds, per thread, the clock snapshot taken at the
+	// thread's most recent release fence; relaxed stores that follow the
+	// fence carry it as their release clock (C++11 §29.8).
+	releaseFence []*vclock.Clock
+
+	reports  []Report
+	seen     map[reportKey]bool
+	disabled bool
+}
+
+// New constructs a Detector sharing the scheduler's PRNG.
+func New(rng *prng.Source, opts Options) *Detector {
+	if opts.HistoryDepth <= 0 {
+		opts.HistoryDepth = 8
+	}
+	if opts.MaxReports <= 0 {
+		opts.MaxReports = 128
+	}
+	d := &Detector{
+		opts:    opts,
+		rng:     rng,
+		scClock: &vclock.Clock{},
+		seen:    make(map[reportKey]bool),
+	}
+	d.registerThread(0)
+	return d
+}
+
+func (d *Detector) registerThread(tid TID) {
+	for int(tid) >= len(d.clocks) {
+		d.clocks = append(d.clocks, &vclock.Clock{})
+		d.pendingAcquire = append(d.pendingAcquire, &vclock.Clock{})
+		d.releaseFence = append(d.releaseFence, nil)
+	}
+	// Every thread starts with epoch 1 for itself so that epoch 0 means
+	// "never accessed".
+	d.clocks[tid].Tick(tid)
+}
+
+// clock returns tid's vector clock.
+func (d *Detector) clock(tid TID) *vclock.Clock { return d.clocks[tid] }
+
+// Epoch returns tid's current epoch.
+func (d *Detector) Epoch(tid TID) vclock.Epoch { return d.clocks[tid].Get(tid) }
+
+// OnThreadCreate establishes the happens-before edge from parent to a newly
+// created child thread: the child inherits the parent's clock.
+func (d *Detector) OnThreadCreate(parent, child TID) {
+	d.registerThread(child)
+	d.clocks[child].Join(d.clocks[parent])
+	d.clocks[child].Tick(child)
+	d.clocks[parent].Tick(parent)
+}
+
+// OnThreadJoin establishes the edge from a finished thread to its joiner.
+func (d *Detector) OnThreadJoin(waiter, target TID) {
+	d.clocks[waiter].Join(d.clocks[target])
+	d.clocks[waiter].Tick(waiter)
+}
+
+// AcquireEdge joins an external clock (mutex, condvar) into tid's clock.
+func (d *Detector) AcquireEdge(tid TID, c *vclock.Clock) {
+	d.clocks[tid].Join(c)
+}
+
+// ReleaseEdge publishes tid's clock into an external clock and advances
+// tid's epoch.
+func (d *Detector) ReleaseEdge(tid TID, c *vclock.Clock) {
+	c.Join(d.clocks[tid])
+	d.clocks[tid].Tick(tid)
+}
+
+// Fence implements C++11 atomic_thread_fence.
+func (d *Detector) Fence(tid TID, order MemoryOrder) {
+	if order.acquires() {
+		// Claim the release clocks of stores previously read by relaxed
+		// loads.
+		d.clocks[tid].Join(d.pendingAcquire[tid])
+		d.pendingAcquire[tid] = &vclock.Clock{}
+	}
+	if order.releases() {
+		// Subsequent relaxed stores act as release stores carrying the
+		// clock as of the fence: snapshot now.
+		d.releaseFence[tid] = d.clocks[tid].Copy()
+		d.clocks[tid].Tick(tid)
+	}
+	if order == SeqCst {
+		d.clocks[tid].Join(d.scClock)
+		d.scClock.Join(d.clocks[tid])
+	}
+}

@@ -1,0 +1,63 @@
+package tsan
+
+import "repro/internal/vclock"
+
+// Shadow is the per-location shadow state for a non-atomic (data) location,
+// in the FastTrack style the original ThreadSanitizer uses: the last write
+// as a (tid, epoch) pair plus a read clock recording the newest read by
+// each thread since that write.
+type Shadow struct {
+	writeTID   TID
+	writeEpoch vclock.Epoch
+	reads      vclock.Clock
+}
+
+// AccessKind classifies the two sides of a race report.
+type AccessKind int
+
+// Access kinds.
+const (
+	KindRead AccessKind = iota
+	KindWrite
+)
+
+func (k AccessKind) String() string {
+	if k == KindRead {
+		return "read"
+	}
+	return "write"
+}
+
+// OnRead checks a non-atomic read of the location named name by tid and
+// updates the shadow. It reports a race if the last write is concurrent
+// with this read.
+func (d *Detector) OnRead(sh *Shadow, tid TID, name string) {
+	c := d.clocks[tid]
+	if sh.writeEpoch != 0 && !vclock.HappensBefore(sh.writeTID, sh.writeEpoch, c) {
+		d.report(name, Access{TID: sh.writeTID, Epoch: sh.writeEpoch, Kind: KindWrite},
+			Access{TID: tid, Epoch: c.Get(tid), Kind: KindRead})
+	}
+	sh.reads.Set(tid, c.Get(tid))
+}
+
+// OnWrite checks a non-atomic write of the location named name by tid and
+// updates the shadow. It reports a race if the last write or any read since
+// it is concurrent with this write.
+func (d *Detector) OnWrite(sh *Shadow, tid TID, name string) {
+	c := d.clocks[tid]
+	if sh.writeEpoch != 0 && !vclock.HappensBefore(sh.writeTID, sh.writeEpoch, c) {
+		d.report(name, Access{TID: sh.writeTID, Epoch: sh.writeEpoch, Kind: KindWrite},
+			Access{TID: tid, Epoch: c.Get(tid), Kind: KindWrite})
+	}
+	for i := 0; i < sh.reads.Len(); i++ {
+		rt := TID(i)
+		re := sh.reads.Get(rt)
+		if re != 0 && rt != tid && !vclock.HappensBefore(rt, re, c) {
+			d.report(name, Access{TID: rt, Epoch: re, Kind: KindRead},
+				Access{TID: tid, Epoch: c.Get(tid), Kind: KindWrite})
+		}
+	}
+	sh.writeTID = tid
+	sh.writeEpoch = c.Get(tid)
+	sh.reads = vclock.Clock{}
+}

@@ -1,0 +1,139 @@
+// Package vclock implements the vector clocks that underpin the tsan11-model
+// race detector's happens-before relation (Lamport 1978; FastTrack-style use
+// as in the original ThreadSanitizer).
+//
+// A clock maps thread IDs to epochs. Thread IDs are small dense integers
+// assigned by the scheduler, so clocks are slices indexed by TID. Clocks grow
+// on demand; absent entries are epoch 0.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TID identifies a thread under test. TIDs are assigned densely from 0 by
+// the scheduler (0 is the main thread).
+type TID int32
+
+// Epoch is a per-thread logical timestamp.
+type Epoch uint64
+
+// Clock is a vector clock. The zero value is the empty clock (all epochs 0)
+// and is ready to use.
+type Clock struct {
+	epochs []Epoch
+}
+
+// New returns a clock pre-sized for n threads. Sizes are hints only; all
+// operations grow clocks on demand.
+func New(n int) *Clock {
+	return &Clock{epochs: make([]Epoch, n)}
+}
+
+// Get returns the epoch recorded for tid (0 if absent).
+func (c *Clock) Get(tid TID) Epoch {
+	if int(tid) >= len(c.epochs) {
+		return 0
+	}
+	return c.epochs[tid]
+}
+
+// Set records epoch e for tid, growing the clock if needed.
+func (c *Clock) Set(tid TID, e Epoch) {
+	c.grow(int(tid) + 1)
+	c.epochs[tid] = e
+}
+
+// Tick increments tid's epoch and returns the new value.
+func (c *Clock) Tick(tid TID) Epoch {
+	c.grow(int(tid) + 1)
+	c.epochs[tid]++
+	return c.epochs[tid]
+}
+
+func (c *Clock) grow(n int) {
+	if n <= len(c.epochs) {
+		return
+	}
+	if n <= cap(c.epochs) {
+		c.epochs = c.epochs[:n]
+		return
+	}
+	grown := make([]Epoch, n, 2*n)
+	copy(grown, c.epochs)
+	c.epochs = grown
+}
+
+// Join merges other into c, taking the pointwise maximum. Join implements
+// the acquire side of synchronisation.
+func (c *Clock) Join(other *Clock) {
+	if other == nil {
+		return
+	}
+	c.grow(len(other.epochs))
+	for i, e := range other.epochs {
+		if e > c.epochs[i] {
+			c.epochs[i] = e
+		}
+	}
+}
+
+// Assign overwrites c with a copy of other.
+func (c *Clock) Assign(other *Clock) {
+	if other == nil {
+		c.epochs = c.epochs[:0]
+		return
+	}
+	c.epochs = append(c.epochs[:0], other.epochs...)
+}
+
+// Copy returns an independent copy of c.
+func (c *Clock) Copy() *Clock {
+	dup := &Clock{}
+	dup.Assign(c)
+	return dup
+}
+
+// LessEq reports whether c happens-before-or-equals other, i.e. every epoch
+// in c is <= the corresponding epoch in other.
+func (c *Clock) LessEq(other *Clock) bool {
+	for i, e := range c.epochs {
+		if e == 0 {
+			continue
+		}
+		if other == nil || i >= len(other.epochs) || e > other.epochs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HappensBefore reports whether the event stamped (tid, e) happens-before a
+// thread whose current clock is other: i.e. other has observed epoch e of
+// tid. This is the FastTrack-style O(1) check used on the hot path.
+func HappensBefore(tid TID, e Epoch, other *Clock) bool {
+	return e <= other.Get(tid)
+}
+
+// Concurrent reports whether the two clocks are incomparable.
+func Concurrent(a, b *Clock) bool {
+	return !a.LessEq(b) && !b.LessEq(a)
+}
+
+// Len returns the number of thread slots the clock covers.
+func (c *Clock) Len() int { return len(c.epochs) }
+
+// String renders the clock as "[e0 e1 ...]" for diagnostics.
+func (c *Clock) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, e := range c.epochs {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", e)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

@@ -1,0 +1,144 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func fromSlice(es []Epoch) *Clock {
+	c := &Clock{}
+	for i, e := range es {
+		c.Set(TID(i), e)
+	}
+	return c
+}
+
+func TestGetSetGrow(t *testing.T) {
+	c := &Clock{}
+	if c.Get(5) != 0 {
+		t.Fatal("absent entry not zero")
+	}
+	c.Set(5, 7)
+	if c.Get(5) != 7 || c.Get(4) != 0 {
+		t.Fatal("Set/Get broken")
+	}
+}
+
+func TestTick(t *testing.T) {
+	c := &Clock{}
+	if c.Tick(2) != 1 || c.Tick(2) != 2 {
+		t.Fatal("Tick sequence wrong")
+	}
+	if c.Get(2) != 2 {
+		t.Fatal("Tick did not persist")
+	}
+}
+
+func TestJoinIsPointwiseMax(t *testing.T) {
+	a := fromSlice([]Epoch{1, 5, 0})
+	b := fromSlice([]Epoch{3, 2, 0, 7})
+	a.Join(b)
+	want := []Epoch{3, 5, 0, 7}
+	for i, w := range want {
+		if a.Get(TID(i)) != w {
+			t.Errorf("joined[%d] = %d, want %d", i, a.Get(TID(i)), w)
+		}
+	}
+}
+
+func TestJoinProperties(t *testing.T) {
+	// Join is commutative, idempotent, and monotone.
+	prop := func(xs, ys []uint8) bool {
+		a1 := clockOf(xs)
+		b1 := clockOf(ys)
+		a2 := clockOf(ys)
+		b2 := clockOf(xs)
+		a1.Join(b1) // xs ⊔ ys
+		a2.Join(b2) // ys ⊔ xs
+		if !a1.LessEq(a2) || !a2.LessEq(a1) {
+			return false // not commutative
+		}
+		// Idempotence: (xs ⊔ ys) ⊔ ys = xs ⊔ ys
+		c := a1.Copy()
+		c.Join(clockOf(ys))
+		if !c.LessEq(a1) || !a1.LessEq(c) {
+			return false
+		}
+		// Monotonicity: xs ≤ xs ⊔ ys
+		return clockOf(xs).LessEq(a1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clockOf(xs []uint8) *Clock {
+	c := &Clock{}
+	for i, x := range xs {
+		c.Set(TID(i), Epoch(x))
+	}
+	return c
+}
+
+func TestLessEqPartialOrder(t *testing.T) {
+	a := fromSlice([]Epoch{1, 2})
+	b := fromSlice([]Epoch{2, 2})
+	if !a.LessEq(b) || b.LessEq(a) {
+		t.Fatal("LessEq ordering wrong")
+	}
+	c := fromSlice([]Epoch{0, 3})
+	if a.LessEq(c) || c.LessEq(a) {
+		t.Fatal("expected incomparable clocks")
+	}
+	if !Concurrent(a, c) {
+		t.Fatal("Concurrent() disagrees with LessEq")
+	}
+	if Concurrent(a, b) {
+		t.Fatal("ordered clocks reported concurrent")
+	}
+}
+
+func TestLessEqVsNil(t *testing.T) {
+	empty := &Clock{}
+	if !empty.LessEq(nil) {
+		t.Fatal("empty clock must be <= nil")
+	}
+	nonEmpty := fromSlice([]Epoch{1})
+	if nonEmpty.LessEq(nil) {
+		t.Fatal("non-empty clock must not be <= nil")
+	}
+}
+
+func TestHappensBeforeFastPath(t *testing.T) {
+	c := fromSlice([]Epoch{0, 9})
+	if !HappensBefore(1, 9, c) || !HappensBefore(1, 3, c) {
+		t.Fatal("observed epochs must happen-before")
+	}
+	if HappensBefore(1, 10, c) || HappensBefore(0, 1, c) {
+		t.Fatal("unobserved epochs must not happen-before")
+	}
+}
+
+func TestAssignAndCopy(t *testing.T) {
+	a := fromSlice([]Epoch{4, 5})
+	b := a.Copy()
+	a.Set(0, 9)
+	if b.Get(0) != 4 {
+		t.Fatal("Copy aliases the original")
+	}
+	var c Clock
+	c.Assign(a)
+	if c.Get(0) != 9 || c.Get(1) != 5 {
+		t.Fatal("Assign did not copy values")
+	}
+	c.Assign(nil)
+	if c.Len() != 0 {
+		t.Fatal("Assign(nil) must clear")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := fromSlice([]Epoch{1, 2}).String(); s != "[1 2]" {
+		t.Fatalf("String() = %q", s)
+	}
+}
