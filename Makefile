@@ -1,0 +1,30 @@
+# Development entry points. `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: check fmt vet build test tsanvet bench
+
+check: fmt vet build test tsanvet
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# tsanvet enforces the instrumentation discipline (see README
+# "Instrumentation discipline"): nonzero exit on any finding.
+tsanvet:
+	$(GO) run ./cmd/tsanvet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -1,15 +1,20 @@
-// Command demoinspect decodes a demo file and prints its header, stream
-// sizes and contents — the debugging companion for the record/replay
-// workflow.
+// Command demoinspect decodes a demo file, validates it, and prints its
+// header, stream sizes and contents — the debugging companion for the
+// record/replay workflow.
 //
 // Usage:
 //
 //	demoinspect [-v] demo.bin
+//
+// Exit status: 0 for a valid demo, 1 for a file that cannot be read,
+// decoded or validated (the header and sections are still printed for a
+// demo that decodes but fails validation), 2 for a usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -18,29 +23,37 @@ import (
 )
 
 func main() {
-	verbose := flag.Bool("v", false, "dump individual events and syscalls")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: demoinspect [-v] <demo file>")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("demoinspect", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	verbose := fs.Bool("v", false, "dump individual events and syscalls")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	data, err := os.ReadFile(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(errOut, "usage: demoinspect [-v] <demo file>")
+		return 2
+	}
+	data, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(errOut, err)
+		return 1
 	}
 	d, err := demo.Decode(data)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(errOut, err)
+		return 1
 	}
 
-	fmt.Printf("strategy:    %s\n", d.Strategy)
-	fmt.Printf("seeds:       %#x %#x\n", d.Seed1, d.Seed2)
-	fmt.Printf("final tick:  %d\n", d.FinalTick)
-	fmt.Printf("output hash: %#x\n", d.OutputHash)
-	fmt.Printf("total size:  %d bytes\n", len(data))
-	fmt.Println("sections:")
+	fmt.Fprintf(out, "strategy:    %s\n", d.Strategy)
+	fmt.Fprintf(out, "seeds:       %#x %#x\n", d.Seed1, d.Seed2)
+	fmt.Fprintf(out, "final tick:  %d\n", d.FinalTick)
+	fmt.Fprintf(out, "output hash: %#x\n", d.OutputHash)
+	fmt.Fprintf(out, "total size:  %d bytes\n", len(data))
+	fmt.Fprintln(out, "sections:")
 	sizes := d.SectionSizes()
 	keys := make([]string, 0, len(sizes))
 	for k := range sizes {
@@ -48,46 +61,55 @@ func main() {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Printf("  %-8s %d bytes\n", k, sizes[k])
+		fmt.Fprintf(out, "  %-8s %d bytes\n", k, sizes[k])
 	}
-	fmt.Printf("streams: %d queue threads, %d signals, %d asyncs, %d syscalls\n",
+	fmt.Fprintf(out, "streams: %d queue threads, %d signals, %d asyncs, %d syscalls\n",
 		len(d.Queue.FirstTick), len(d.Signals), len(d.Asyncs), len(d.Syscalls))
 
+	status := 0
+	if err := d.Validate(); err != nil {
+		fmt.Fprintf(errOut, "demoinspect: demo decodes but cannot replay: %v\n", err)
+		status = 1
+	} else {
+		fmt.Fprintln(out, "validation:  ok")
+	}
+
 	if !*verbose {
-		return
+		return status
 	}
 	if len(d.Queue.FirstTick) > 0 {
-		fmt.Println("\nQUEUE first ticks:")
+		fmt.Fprintln(out, "\nQUEUE first ticks:")
 		var tids []int32
 		for tid := range d.Queue.FirstTick {
 			tids = append(tids, tid)
 		}
 		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 		for _, tid := range tids {
-			fmt.Printf("  thread %d first scheduled at tick %d\n", tid, d.Queue.FirstTick[tid])
+			fmt.Fprintf(out, "  thread %d first scheduled at tick %d\n", tid, d.Queue.FirstTick[tid])
 		}
 	}
 	if len(d.Signals) > 0 {
-		fmt.Println("\nSIGNAL events (tid tick sig):")
+		fmt.Fprintln(out, "\nSIGNAL events (tid tick sig):")
 		for _, s := range d.Signals {
-			fmt.Printf("  %d %d %d\n", s.TID, s.Tick, s.Sig)
+			fmt.Fprintf(out, "  %d %d %d\n", s.TID, s.Tick, s.Sig)
 		}
 	}
 	if len(d.Asyncs) > 0 {
-		fmt.Println("\nASYNC events:")
+		fmt.Fprintln(out, "\nASYNC events:")
 		for _, a := range d.Asyncs {
-			fmt.Printf("  tick %-8d %-14s thread %d\n", a.Tick, a.Kind, a.TID)
+			fmt.Fprintf(out, "  tick %-8d %-14s thread %d\n", a.Tick, a.Kind, a.TID)
 		}
 	}
 	if len(d.Syscalls) > 0 {
-		fmt.Println("\nSYSCALL records:")
+		fmt.Fprintln(out, "\nSYSCALL records:")
 		for i, sc := range d.Syscalls {
 			total := 0
 			for _, b := range sc.Bufs {
 				total += len(b)
 			}
-			fmt.Printf("  #%-6d thread %-3d %-14s ret %-6d errno %-12s %d buf bytes\n",
+			fmt.Fprintf(out, "  #%-6d thread %-3d %-14s ret %-6d errno %-12s %d buf bytes\n",
 				i, sc.TID, env.Sys(sc.Kind), sc.Ret, env.Errno(sc.Errno), total)
 		}
 	}
+	return status
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/demo"
+)
+
+func sampleDemo() *demo.Demo {
+	return &demo.Demo{
+		Strategy:  demo.StrategyQueue,
+		Seed1:     11,
+		Seed2:     22,
+		FinalTick: 3,
+		Queue: demo.Queue{
+			FirstTick: map[int32]uint64{0: 1, 1: 2},
+			Ticks:     []uint64{2, 0, 0},
+		},
+		Signals:  []demo.SignalEvent{{TID: 1, Tick: 2, Sig: 15}},
+		Syscalls: []demo.SyscallRecord{{TID: 0, Kind: 3, Ret: 42, Bufs: [][]byte{[]byte("payload")}}},
+	}
+}
+
+func writeDemo(t *testing.T, d *demo.Demo) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "demo.bin")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunValidDemo(t *testing.T) {
+	path := writeDemo(t, sampleDemo())
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-v", path}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"strategy:    queue", "validation:  ok", "SIGNAL events"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "demo.bin")
+	if err := os.WriteFile(path, []byte("TSANREC1 not really"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+}
+
+// TestRunInvalidDemo covers the satellite requirement: a demo that decodes
+// but fails validation must exit nonzero (previously demoinspect printed
+// it happily and exited 0).
+func TestRunInvalidDemo(t *testing.T) {
+	d := sampleDemo()
+	d.Queue.Ticks = []uint64{0, 0, 0} // tick 3 ends up with no scheduled thread
+	path := writeDemo(t, d)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "cannot replay") {
+		t.Errorf("stderr missing validation error: %s", errOut.String())
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+}

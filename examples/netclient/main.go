@@ -93,6 +93,8 @@ func process(buf []byte) []byte {
 
 // runServer is the external world: it serves a few requests, then sends
 // SIGTERM to the client process.
+//
+//tsanrec:external the simulated live server: genuinely nondeterministic timing that recording captures via the syscall stream
 func runServer(w *env.World, nRequests int) {
 	l := w.ExternalListen(serverPort)
 	go func() {

@@ -13,6 +13,8 @@ import (
 
 // StartInputInjector runs an external listener on InputPort that feeds
 // random keypresses to every client that connects. Returns a stop func.
+//
+//tsanrec:external models the X11 server: its timing is genuine nondeterminism captured only through the recorded syscalls
 func StartInputInjector(w *env.World) func() {
 	l := w.ExternalListen(InputPort)
 	stop := make(chan struct{})
@@ -74,6 +76,8 @@ func DefaultServerConfig() ServerConfig {
 // StartServer runs the external game server on ServerPort. Each client
 // that JOINs receives periodic STATE packets and MAP announcements.
 // Returns a stop func.
+//
+//tsanrec:external models the remote multiplayer server: it lives outside the recorded process and reaches it only via syscalls
 func StartServer(w *env.World, cfg ServerConfig) func() {
 	l := w.ExternalListen(ServerPort)
 	stop := make(chan struct{})
@@ -97,6 +101,7 @@ func StartServer(w *env.World, cfg ServerConfig) func() {
 	return func() { close(stop) }
 }
 
+//tsanrec:external per-client server loop of the external game server; wall-clock pacing and jitter are the point
 func serveClient(w *env.World, c *env.ExtConn, cfg ServerConfig, stop chan struct{}) {
 	defer c.Close()
 	// Wait for JOIN.

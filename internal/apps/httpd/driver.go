@@ -55,7 +55,11 @@ func RunExperiment(cfg Config, mode string, seed uint64, reportRaces bool, reque
 		rep *core.Report
 		err error
 	}
-	done := make(chan runOut, 1)
+	// The host-side bridge between the runtime (whose Run must overlap the
+	// live load generator) and the external world is itself external: its
+	// goroutine and channels exist outside the recorded execution.
+	done := make(chan runOut, 1) //tsanrec:external host-side completion channel, outside the recorded execution
+	//tsanrec:external host-side driver goroutine running the runtime while the load generator issues traffic
 	go func() {
 		rep, err := rt.Run(Server(rt, cfg))
 		done <- runOut{rep, err}
@@ -64,6 +68,7 @@ func RunExperiment(cfg Config, mode string, seed uint64, reportRaces bool, reque
 	load := RunLoad(world, cfg.Port, requests, concurrency, 20*time.Second)
 	world.Kill(SigTerm)
 
+	//tsanrec:external host-side drain timeout: a hung server must fail the experiment rather than wedge the harness
 	select {
 	case out := <-done:
 		return Outcome{Load: load, Report: out.rep, Err: out.err}

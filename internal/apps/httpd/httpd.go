@@ -211,6 +211,8 @@ func (r LoadResult) Throughput() float64 {
 // external client goroutines (the ab equivalent: "We sent 10,000 queries
 // across 10 concurrent threads"). It runs in the external world and must
 // be started before (or concurrently with) the runtime's Run.
+//
+//tsanrec:external the ab-model load generator is external-world traffic; only its syscall arrivals are recorded
 func RunLoad(w *env.World, port, total, concurrency int, timeout time.Duration) LoadResult {
 	if concurrency < 1 {
 		concurrency = 1
@@ -248,6 +250,7 @@ func RunLoad(w *env.World, port, total, concurrency int, timeout time.Duration) 
 	return res
 }
 
+//tsanrec:external one external client request; its wall-clock deadlines never run under the scheduler
 func oneRequest(w *env.World, port, id, i int, timeout time.Duration) error {
 	conn, err := w.ExternalConnect(port, timeout)
 	if err != nil {

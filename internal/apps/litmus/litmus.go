@@ -60,9 +60,9 @@ func RunOnce(p Program, opts core.Options) Result {
 	if err != nil {
 		return Result{Err: err}
 	}
-	start := time.Now()
+	start := time.Now() //tsanrec:allow(rawsync) host-side wall-clock measurement around Run, not program logic
 	rep, err := rt.Run(p.Body(rt))
-	d := time.Since(start)
+	d := time.Since(start) //tsanrec:allow(rawsync) host-side wall-clock measurement around Run, not program logic
 	if err != nil {
 		return Result{Duration: d, Err: err}
 	}

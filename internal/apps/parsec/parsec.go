@@ -69,9 +69,9 @@ func RunOnce(b Benchmark, opts core.Options, nthreads, size int) (time.Duration,
 	if err != nil {
 		return 0, nil, err
 	}
-	start := time.Now()
+	start := time.Now() //tsanrec:allow(rawsync) host-side wall-clock measurement around Run, not program logic
 	rep, err := rt.Run(b.Body(rt, nthreads, size))
-	return time.Since(start), rep, err
+	return time.Since(start), rep, err //tsanrec:allow(rawsync) host-side wall-clock measurement around Run, not program logic
 }
 
 // blackscholes: price options in parallel; one visible op per thread at
@@ -145,7 +145,7 @@ func fluidanimate(rt *core.Runtime, nthreads, size int) func(*core.Thread) {
 					}
 					grid[lo].Lock(t)
 					if hi != lo {
-						grid[hi].Lock(t)
+						grid[hi].Lock(t) //tsanrec:allow(lockpair) lock and unlock share the identical hi != lo guard; the CFG cannot correlate the two branches
 					}
 					ma := mass[lo].Read(t)
 					mb := mass[hi].Read(t)

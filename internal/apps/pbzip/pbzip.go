@@ -199,9 +199,9 @@ func RunOnce(opts core.Options, cfg Config, inputLen int) (time.Duration, int, *
 	if err != nil {
 		return 0, 0, nil, err
 	}
-	start := time.Now()
+	start := time.Now() //tsanrec:allow(rawsync) host-side wall-clock measurement around Run, not program logic
 	rep, err := rt.Run(Compress(rt, cfg))
-	d := time.Since(start)
+	d := time.Since(start) //tsanrec:allow(rawsync) host-side wall-clock measurement around Run, not program logic
 	if err != nil {
 		return d, 0, rep, err
 	}

@@ -1,0 +1,53 @@
+package demo
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Validate checks the demo's internal consistency beyond what Decode can
+// see while parsing: the header fields are in range, the encoding is a
+// fixed point (encode∘decode∘encode is the identity), every event sits
+// inside the recorded tick range, and the queue stream reconstructs into a
+// complete schedule (the same check NewReplayer performs before a replay).
+// A demo that fails Validate decoded, but can never drive a synchronised
+// replay.
+func (d *Demo) Validate() error {
+	if d.Strategy > StrategyDelay {
+		return fmt.Errorf("%w: unknown strategy %d", ErrCorrupt, d.Strategy)
+	}
+	for _, s := range d.Signals {
+		if s.Tick > d.FinalTick {
+			return fmt.Errorf("%w: signal for thread %d at tick %d, past final tick %d", ErrCorrupt, s.TID, s.Tick, d.FinalTick)
+		}
+	}
+	for _, a := range d.Asyncs {
+		if a.Kind > AsyncTimerWakeup {
+			return fmt.Errorf("%w: unknown async event kind %d", ErrCorrupt, a.Kind)
+		}
+		if a.Tick > d.FinalTick {
+			return fmt.Errorf("%w: %s event at tick %d, past final tick %d", ErrCorrupt, a.Kind, a.Tick, d.FinalTick)
+		}
+	}
+	if d.Strategy == StrategyQueue {
+		// Every tick 1..FinalTick must be scheduled; each chain start
+		// covers one tick and each further hop consumes a distinct Ticks
+		// entry, so this bound holds for every well-formed recording. It
+		// also caps the schedule NewReplayer allocates below.
+		if max := uint64(len(d.Queue.Ticks)) + uint64(len(d.Queue.FirstTick)); d.FinalTick > max {
+			return fmt.Errorf("%w: final tick %d exceeds the queue stream's %d schedulable ticks", ErrCorrupt, d.FinalTick, max)
+		}
+	}
+	if _, err := NewReplayer(d); err != nil {
+		return err
+	}
+	enc := d.Encode()
+	d2, err := Decode(enc)
+	if err != nil {
+		return fmt.Errorf("demo: re-encoding does not decode: %w", err)
+	}
+	if !bytes.Equal(enc, d2.Encode()) {
+		return fmt.Errorf("%w: encoding is not a fixed point", ErrCorrupt)
+	}
+	return nil
+}

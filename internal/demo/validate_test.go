@@ -1,0 +1,58 @@
+package demo
+
+import (
+	"errors"
+	"testing"
+)
+
+// validDemo is sampleDemo with a queue stream that actually covers every
+// tick 1..FinalTick (sampleDemo's stream deliberately strands ticks 8-9,
+// which Validate must reject — see TestValidateRejects).
+func validDemo() *Demo {
+	d := sampleDemo()
+	// Chains: thread 0 runs ticks 1,2,3,8,9; thread 1 runs ticks 4,5,6,7.
+	d.Queue.Ticks = []uint64{1, 1, 5, 1, 1, 1, 0, 1, 0}
+	return d
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := validDemo().Validate(); err != nil {
+		t.Fatalf("sample demo invalid: %v", err)
+	}
+	empty := &Demo{Strategy: StrategyRandom, Seed1: 1, Seed2: 2}
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("minimal demo invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Demo)
+	}{
+		{"unknown strategy", func(d *Demo) { d.Strategy = 200 }},
+		{"signal past final tick", func(d *Demo) { d.Signals[0].Tick = d.FinalTick + 1 }},
+		{"async past final tick", func(d *Demo) { d.Asyncs[0].Tick = d.FinalTick + 1 }},
+		{"unknown async kind", func(d *Demo) { d.Asyncs[0].Kind = 99 }},
+		{"final tick beyond queue stream", func(d *Demo) { d.FinalTick = 1 << 40 }},
+		{"unscheduled tick", func(d *Demo) { d.Queue.Ticks = make([]uint64, 9) }},
+		{"tick scheduled twice", func(d *Demo) { d.Queue.FirstTick[1] = 1 }},
+	}
+	cases = append(cases, struct {
+		name   string
+		mutate func(*Demo)
+	}{"stranded ticks", func(d *Demo) { d.Queue.Ticks = sampleDemo().Queue.Ticks }})
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := validDemo()
+			c.mutate(d)
+			err := d.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a broken demo")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfgNode is one node of the light-weight per-function control-flow graph
+// lockpair walks. Leaf statements carry themselves in scan; structural
+// statements (if/for/switch/...) carry only their head expressions, so a
+// body unlock is never attributed to the head.
+type cfgNode struct {
+	scan  []ast.Node // AST to inspect for calls at this node
+	succs []*cfgNode
+	exit  bool // synthetic function-exit node
+}
+
+func (n *cfgNode) connect(to *cfgNode) { n.succs = append(n.succs, to) }
+
+// funcCFG is the graph for one function body.
+type funcCFG struct {
+	entry *cfgNode
+	exit  *cfgNode
+	nodes []*cfgNode
+}
+
+type cfgBuilder struct {
+	g         *funcCFG
+	breaks    []*cfgNode
+	continues []*cfgNode
+}
+
+func (b *cfgBuilder) node(scan ...ast.Node) *cfgNode {
+	n := &cfgNode{}
+	for _, s := range scan {
+		if s != nil {
+			n.scan = append(n.scan, s)
+		}
+	}
+	b.g.nodes = append(b.g.nodes, n)
+	return n
+}
+
+// buildCFG constructs the CFG for a function body. The model is
+// deliberately simple: goto and labelled branches conservatively jump to
+// the function exit (treating them as "left the region"), fallthrough
+// falls to the join like a normal case end.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g}
+	g.entry = b.node()
+	g.exit = b.node()
+	g.exit.exit = true
+	end := b.stmts(g.entry, body.List)
+	if end != nil {
+		end.connect(g.exit)
+	}
+	return g
+}
+
+// stmts threads a statement sequence from cur; it returns the node control
+// flows out of, or nil if the sequence never falls through.
+func (b *cfgBuilder) stmts(cur *cfgNode, list []ast.Stmt) *cfgNode {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *cfgNode, s ast.Stmt) *cfgNode {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, st.List)
+
+	case *ast.LabeledStmt:
+		return b.stmt(cur, st.Stmt)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			cur = b.stmt(cur, st.Init)
+		}
+		head := b.node(st.Cond)
+		cur.connect(head)
+		after := b.node()
+		if thenEnd := b.stmts(head, st.Body.List); thenEnd != nil {
+			thenEnd.connect(after)
+		}
+		if st.Else != nil {
+			if elseEnd := b.stmt(head, st.Else); elseEnd != nil {
+				elseEnd.connect(after)
+			}
+		} else {
+			head.connect(after)
+		}
+		if !reachable(after, b.g) {
+			return nil
+		}
+		return after
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			cur = b.stmt(cur, st.Init)
+		}
+		head := b.node(st.Cond, st.Post)
+		cur.connect(head)
+		after := b.node()
+		if st.Cond != nil {
+			head.connect(after)
+		}
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, head)
+		if bodyEnd := b.stmts(head, st.Body.List); bodyEnd != nil {
+			bodyEnd.connect(head)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		if !reachable(after, b.g) {
+			return nil
+		}
+		return after
+
+	case *ast.RangeStmt:
+		head := b.node(st.X)
+		cur.connect(head)
+		after := b.node()
+		head.connect(after)
+		b.breaks = append(b.breaks, after)
+		b.continues = append(b.continues, head)
+		if bodyEnd := b.stmts(head, st.Body.List); bodyEnd != nil {
+			bodyEnd.connect(head)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		return after
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			cur = b.stmt(cur, st.Init)
+		}
+		head := b.node(st.Tag)
+		cur.connect(head)
+		return b.clauses(head, st.Body.List, false)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			cur = b.stmt(cur, st.Init)
+		}
+		head := b.node(st.Assign)
+		cur.connect(head)
+		return b.clauses(head, st.Body.List, false)
+
+	case *ast.SelectStmt:
+		head := b.node()
+		cur.connect(head)
+		// A default-less select blocks until some case fires; control only
+		// leaves through a case body, which clauses models.
+		return b.clauses(head, st.Body.List, true)
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		cur.connect(n)
+		n.connect(b.g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.node()
+		cur.connect(n)
+		switch st.Tok {
+		case token.BREAK:
+			if st.Label == nil && len(b.breaks) > 0 {
+				n.connect(b.breaks[len(b.breaks)-1])
+			} else {
+				n.connect(b.g.exit)
+			}
+		case token.CONTINUE:
+			if st.Label == nil && len(b.continues) > 0 {
+				n.connect(b.continues[len(b.continues)-1])
+			} else {
+				n.connect(b.g.exit)
+			}
+		case token.GOTO:
+			n.connect(b.g.exit)
+		case token.FALLTHROUGH:
+			// Modelled as a normal fall to the clause join rather than the
+			// next case body — good enough for pairing analysis.
+			return n
+		}
+		return nil
+
+	default:
+		// Leaf statement: expr, assign, incdec, decl, send, go, defer...
+		n := b.node(s)
+		cur.connect(n)
+		return n
+	}
+}
+
+// clauses wires a switch/select body: each clause is entered from head;
+// clause ends fall to a shared join. blocking selects (and switches with a
+// default) have no head→join edge.
+func (b *cfgBuilder) clauses(head *cfgNode, list []ast.Stmt, isSelect bool) *cfgNode {
+	after := b.node()
+	b.breaks = append(b.breaks, after)
+	hasDefault := false
+	for _, cl := range list {
+		var bodyList []ast.Stmt
+		var clauseHead *cfgNode
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			clauseHead = b.node(exprNodes(c.List)...)
+			bodyList = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			clauseHead = b.node(c.Comm)
+			bodyList = c.Body
+		default:
+			continue
+		}
+		head.connect(clauseHead)
+		if end := b.stmts(clauseHead, bodyList); end != nil {
+			end.connect(after)
+		}
+	}
+	if !hasDefault && !isSelect {
+		head.connect(after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if !reachable(after, b.g) {
+		return nil
+	}
+	return after
+}
+
+func exprNodes(exprs []ast.Expr) []ast.Node {
+	out := make([]ast.Node, 0, len(exprs))
+	for _, e := range exprs {
+		out = append(out, e)
+	}
+	return out
+}
+
+// reachable reports whether n has any predecessor edge in g.
+func reachable(n *cfgNode, g *funcCFG) bool {
+	for _, m := range g.nodes {
+		for _, s := range m.succs {
+			if s == n {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CheckDirective is the pseudo-check name for directive hygiene findings
+// (malformed, dangling or stale //tsanrec:* comments).
+const CheckDirective = "directive"
+
+// The two directive verbs:
+//
+//	//tsanrec:external <justification>
+//	    Marks a function, statement or declaration as external-world code
+//	    that legitimately bypasses the scheduler (servers, load
+//	    generators, host-side drivers). All checks are suppressed inside
+//	    its span.
+//
+//	//tsanrec:allow(<check>) <justification>
+//	    Suppresses findings of one named check inside the attached node's
+//	    span.
+//
+// Both forms require a justification, and a directive that suppresses
+// nothing is reported as stale — annotations must stay load-bearing.
+type directive struct {
+	verb      string
+	check     string // for allow
+	reason    string
+	pos       token.Position
+	malformed string         // non-empty: why the directive is invalid
+	spanStart token.Position // attached node extent (zero if dangling)
+	spanEnd   token.Position
+	used      bool
+}
+
+const directivePrefix = "//tsanrec:"
+
+// parseDirectives extracts and attaches every //tsanrec:* comment in the
+// package's files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var ds []*directive
+	for _, file := range files {
+		candidates := attachCandidates(file)
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d := parseOne(c.Text)
+				d.pos = fset.Position(c.Pos())
+				if d.malformed == "" {
+					attach(fset, d, c, group, candidates)
+				}
+				ds = append(ds, d)
+			}
+		}
+	}
+	return ds
+}
+
+func parseOne(text string) *directive {
+	rest := strings.TrimPrefix(text, directivePrefix)
+	d := &directive{}
+	switch {
+	case strings.HasPrefix(rest, "external"):
+		d.verb = "external"
+		d.reason = strings.TrimSpace(strings.TrimPrefix(rest, "external"))
+		if d.reason == "" {
+			d.malformed = "//tsanrec:external requires a justification"
+		}
+	case strings.HasPrefix(rest, "allow("):
+		d.verb = "allow"
+		body := strings.TrimPrefix(rest, "allow(")
+		close := strings.IndexByte(body, ')')
+		if close < 0 {
+			d.malformed = "//tsanrec:allow is missing the closing parenthesis"
+			return d
+		}
+		d.check = body[:close]
+		d.reason = strings.TrimSpace(body[close+1:])
+		if !knownCheck(d.check) {
+			d.malformed = fmt.Sprintf("//tsanrec:allow names unknown check %q (known: %s)", d.check, strings.Join(AnalyzerNames(), ", "))
+		} else if d.reason == "" {
+			d.malformed = fmt.Sprintf("//tsanrec:allow(%s) requires a justification", d.check)
+		}
+	default:
+		verb := rest
+		if i := strings.IndexAny(verb, " (\t"); i >= 0 {
+			verb = verb[:i]
+		}
+		d.verb = verb
+		d.malformed = fmt.Sprintf("unknown directive //tsanrec:%s (known: external, allow)", verb)
+	}
+	return d
+}
+
+// attachCandidates returns the nodes a directive can bind to: every
+// declaration and statement except plain blocks (a directive on a closing
+// brace line must not silently bind to the whole surrounding block).
+func attachCandidates(file *ast.File) []ast.Node {
+	var nodes []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case ast.Decl:
+			nodes = append(nodes, n)
+		case *ast.BlockStmt:
+			// skip
+		case ast.Stmt:
+			nodes = append(nodes, n)
+		}
+		return true
+	})
+	return nodes
+}
+
+// attach binds d to a node: either the statement the comment trails on the
+// same line, or the first statement/declaration starting on the line right
+// after the comment group.
+func attach(fset *token.FileSet, d *directive, c *ast.Comment, group *ast.CommentGroup, candidates []ast.Node) {
+	line := fset.Position(c.Pos()).Line
+	groupEnd := fset.Position(group.End()).Line
+
+	// Trailing form: `go func() { ... }() //tsanrec:external reason`.
+	// Pick the outermost candidate ending on the comment's line before it.
+	var trailing ast.Node
+	for _, n := range candidates {
+		if fset.Position(n.End()).Line == line && n.End() <= c.Pos() {
+			if trailing == nil || n.Pos() < trailing.Pos() {
+				trailing = n
+			}
+		}
+	}
+	if trailing != nil {
+		d.spanStart = fset.Position(trailing.Pos())
+		d.spanEnd = fset.Position(trailing.End())
+		return
+	}
+
+	// Preceding form: bind to the nearest following node, which must start
+	// on the line immediately after the comment group (doc comments on a
+	// func/decl satisfy this naturally).
+	var next ast.Node
+	for _, n := range candidates {
+		if n.Pos() > c.End() {
+			if next == nil || n.Pos() < next.Pos() {
+				next = n
+			}
+		}
+	}
+	if next == nil || fset.Position(next.Pos()).Line > groupEnd+1 {
+		d.malformed = "dangling directive: no statement or declaration on the next line"
+		return
+	}
+	d.spanStart = fset.Position(next.Pos())
+	d.spanEnd = fset.Position(next.End())
+}
+
+func posWithin(p, start, end token.Position) bool {
+	if p.Filename != start.Filename {
+		return false
+	}
+	if p.Line < start.Line || (p.Line == start.Line && p.Column < start.Column) {
+		return false
+	}
+	if p.Line > end.Line || (p.Line == end.Line && p.Column > end.Column) {
+		return false
+	}
+	return true
+}
+
+// externalSpan reports whether the position lies inside any well-formed
+// //tsanrec:external span of the package. Analyzers use it to skip
+// external-world code wholesale.
+func (pkg *Package) externalSpan(p token.Position) bool {
+	for _, d := range pkg.directives {
+		if d.malformed == "" && d.verb == "external" && posWithin(p, d.spanStart, d.spanEnd) {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// suppresses applies //tsanrec:allow (and, as a backstop, external spans)
+// to a finding, marking matching directives as used.
+func (pkg *Package) suppresses(f Finding) bool {
+	hit := false
+	for _, d := range pkg.directives {
+		if d.malformed != "" || !posWithin(f.Pos, d.spanStart, d.spanEnd) {
+			continue
+		}
+		switch d.verb {
+		case "external":
+			if f.Check != CheckDirective {
+				d.used = true
+				hit = true
+			}
+		case "allow":
+			if d.check == f.Check {
+				d.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// directiveFindings reports malformed and stale directives.
+func (pkg *Package) directiveFindings(fset *token.FileSet) []Finding {
+	var fs []Finding
+	for _, d := range pkg.directives {
+		switch {
+		case d.malformed != "":
+			fs = append(fs, Finding{Pos: d.pos, Check: CheckDirective, Severity: SeverityWarning, Message: d.malformed})
+		case !d.used:
+			name := "//tsanrec:" + d.verb
+			if d.verb == "allow" {
+				name += "(" + d.check + ")"
+			}
+			fs = append(fs, Finding{Pos: d.pos, Check: CheckDirective, Severity: SeverityWarning,
+				Message: fmt.Sprintf("stale %s: it suppresses no finding; remove it or fix the span", name)})
+		}
+	}
+	return fs
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// JoinLeak flags Thread.Spawn handles that are provably dropped: the
+// result is discarded outright, or bound to a variable that is never
+// passed to Join, never stored anywhere, and never returned. A leaked
+// handle means nothing joins the thread, so the spawn's happens-before
+// edge has no matching join edge and the runtime can only drain the
+// thread at teardown — on replay, any visible operation the unjoined
+// thread performs after the main thread exits is a desync waiting to
+// happen.
+//
+// The analysis is deliberately conservative about escapes: a handle that
+// is appended to a slice, stored in a struct, sent somewhere, returned, or
+// passed to any function is assumed joined elsewhere.
+type JoinLeak struct{}
+
+// Name implements Analyzer.
+func (JoinLeak) Name() string { return "joinleak" }
+
+// Doc implements Analyzer.
+func (JoinLeak) Doc() string {
+	return "a Thread.Spawn handle must be Joined, stored, or returned — a dropped handle is an unjoinable thread"
+}
+
+// Run implements Analyzer.
+func (JoinLeak) Run(prog *Program, pkg *Package) []Finding {
+	if prog.Framework(pkg) {
+		return nil
+	}
+	var fs []Finding
+	for _, file := range pkg.Files {
+		parents := buildParents(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := methodOn(pkg.Info, call, "internal/core", "Thread", "Spawn"); !ok {
+				return true
+			}
+			switch parent := parents[call].(type) {
+			case *ast.ExprStmt:
+				fs = append(fs, Finding{
+					Pos:      prog.position(call.Pos()),
+					Check:    "joinleak",
+					Severity: SeverityError,
+					Message:  "Spawn result discarded: the thread can never be Joined, so its termination is invisible to the schedule; bind the handle and Join it",
+				})
+			case *ast.AssignStmt:
+				obj := assignedObject(pkg.Info, parent, call)
+				if obj == nil {
+					return true // multi-value or complex LHS: assume escape
+				}
+				if !handleConsumed(pkg.Info, file, parents, obj) {
+					fs = append(fs, Finding{
+						Pos:      prog.position(call.Pos()),
+						Check:    "joinleak",
+						Severity: SeverityError,
+						Message:  fmt.Sprintf("spawn handle %q is never Joined, stored, or returned: the thread outlives the schedule unjoined; Join it (or waive with //tsanrec:allow(joinleak))", obj.Name()),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return fs
+}
+
+// assignedObject maps a Spawn call appearing as the i-th RHS of an
+// assignment to the variable object bound on the matching LHS.
+func assignedObject(info *types.Info, assign *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return nil
+	}
+	for i, rhs := range assign.Rhs {
+		if rhs != ast.Expr(call) {
+			continue
+		}
+		id, ok := assign.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// handleConsumed reports whether any use of the handle variable joins it
+// or lets it escape the function (call argument, return, store, send,
+// composite literal, reassignment source).
+func handleConsumed(info *types.Info, file *ast.File, parents parentMap, obj types.Object) bool {
+	consumed := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if consumed {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		if useConsumes(info, parents, id) {
+			consumed = true
+		}
+		return true
+	})
+	return consumed
+}
+
+// useConsumes classifies a single use of the handle.
+func useConsumes(info *types.Info, parents parentMap, id *ast.Ident) bool {
+	for cur := ast.Node(id); cur != nil; cur = parents[cur] {
+		switch p := parents[cur].(type) {
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if arg == cur {
+					// Passed to Join (consumed) or any other function
+					// (assumed to join or keep it).
+					return true
+				}
+			}
+			// cur is the function expression: `h.TID()` — selector below
+			// handles it; keep climbing.
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CompositeLit:
+			return true
+		case *ast.SendStmt:
+			return true
+		case *ast.KeyValueExpr:
+			return true
+		case *ast.AssignStmt:
+			for _, rhs := range p.Rhs {
+				if rhs == cur {
+					return true // aliased into another variable or location
+				}
+			}
+			return false // pure LHS rebind does not consume
+		case *ast.IndexExpr:
+			// arr[h] or h[...]; keep climbing — the enclosing context
+			// decides.
+		case *ast.SelectorExpr:
+			if p.X == cur {
+				// h.TID(), h.Field: reading off the handle does not join it.
+				return false
+			}
+		case *ast.RangeStmt:
+			if p.X == cur {
+				return true
+			}
+		}
+	}
+	return false
+}

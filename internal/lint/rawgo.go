@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RawGo flags raw `go` statements in instrumented packages. A goroutine
+// started outside Thread.Spawn is invisible to the scheduler: none of its
+// operations are ticked, none of its synchronisation is recorded, and any
+// interaction with instrumented state desyncs replay. External-world code
+// (servers, load generators) is exempted with //tsanrec:external.
+type RawGo struct{}
+
+// Name implements Analyzer.
+func (RawGo) Name() string { return "rawgo" }
+
+// Doc implements Analyzer.
+func (RawGo) Doc() string {
+	return "raw `go` statements in instrumented code must be Thread.Spawn (or marked //tsanrec:external)"
+}
+
+// Run implements Analyzer.
+func (RawGo) Run(prog *Program, pkg *Package) []Finding {
+	if !prog.Instrumented(pkg) {
+		return nil
+	}
+	var fs []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			pos := prog.position(g.Pos())
+			if pkg.externalSpan(pos) {
+				return true
+			}
+			fs = append(fs, Finding{
+				Pos:      pos,
+				Check:    "rawgo",
+				Severity: SeverityError,
+				Message:  "raw `go` statement: the goroutine is invisible to the scheduler and unrecorded; use Thread.Spawn, or mark external-world code //tsanrec:external",
+			})
+			return true
+		})
+	}
+	return fs
+}

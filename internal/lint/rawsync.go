@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// RawSync flags unrecorded nondeterminism sources in instrumented
+// packages: the sync and sync/atomic packages (synchronisation the
+// detector and recorder cannot see), wall-clock reads and sleeps from the
+// time package (use Thread.ClockGettime / Thread.Nap), math/rand (use
+// Thread.Rand, which records its seeding), and raw channel operations
+// (use core.Mutex/Cond or conc.Queue). Each is a source of nondeterminism
+// the demo cannot capture, so replay diverges silently.
+type RawSync struct{}
+
+// Name implements Analyzer.
+func (RawSync) Name() string { return "rawsync" }
+
+// Doc implements Analyzer.
+func (RawSync) Doc() string {
+	return "sync.*, time.Now/Sleep, math/rand and raw channels in instrumented code are unrecorded nondeterminism"
+}
+
+// deniedTimeFuncs are the time-package functions that read or depend on
+// the wall clock. Pure types and constants (time.Duration, time.Second)
+// are deterministic and stay allowed.
+var deniedTimeFuncs = map[string]string{
+	"Now":       "use Thread.ClockGettime, which records the virtual clock",
+	"Sleep":     "use Thread.Nap, which is pacing-only and replay-aware",
+	"Since":     "use Thread.ClockGettime deltas",
+	"Until":     "use Thread.ClockGettime deltas",
+	"After":     "use core.Cond TimedWait or Thread.Nap",
+	"AfterFunc": "use core.Cond TimedWait or Thread.Nap",
+	"Tick":      "use Thread.ClockGettime pacing",
+	"NewTimer":  "use core.Cond TimedWait",
+	"NewTicker": "use Thread.ClockGettime pacing",
+}
+
+// Run implements Analyzer.
+func (RawSync) Run(prog *Program, pkg *Package) []Finding {
+	if !prog.Instrumented(pkg) {
+		return nil
+	}
+	var fs []Finding
+	add := func(n ast.Node, msg string) {
+		pos := prog.position(n.Pos())
+		if pkg.externalSpan(pos) {
+			return
+		}
+		fs = append(fs, Finding{Pos: pos, Check: "rawsync", Severity: SeverityError, Message: msg})
+	}
+
+	// Package-object uses: anything from sync / sync/atomic / math/rand.
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.SelectorExpr:
+				obj := pkg.Info.Uses[node.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				switch obj.Pkg().Path() {
+				case "sync", "sync/atomic":
+					add(node, fmt.Sprintf("%s.%s: uninstrumented synchronisation is invisible to the recorder and the race detector; use core.Mutex/Cond/Atomic* or conc", obj.Pkg().Name(), obj.Name()))
+				case "math/rand", "math/rand/v2":
+					add(node, fmt.Sprintf("math/rand.%s: unseeded randomness diverges on replay; use Thread.Rand", obj.Name()))
+				case "time":
+					if hint, bad := deniedTimeFuncs[obj.Name()]; bad {
+						add(node, fmt.Sprintf("time.%s reads the wall clock, which replay cannot reproduce; %s, or mark external-world code //tsanrec:external", obj.Name(), hint))
+					}
+				}
+			case *ast.SendStmt:
+				add(node, "raw channel send: channel scheduling is unrecorded; use conc.Queue or core.Cond")
+			case *ast.UnaryExpr:
+				if node.Op.String() == "<-" {
+					add(node, "raw channel receive: channel scheduling is unrecorded; use conc.Queue or core.Cond")
+				}
+			case *ast.SelectStmt:
+				add(node, "select statement: the runtime's case choice is unrecorded nondeterminism; use conc.Queue or core.Cond")
+				// Skip the body so each racy case is not double-reported;
+				// the select itself is the finding.
+				return false
+			case *ast.CallExpr:
+				if tv, ok := pkg.Info.Types[node]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						if fun, ok := node.Fun.(*ast.Ident); ok && fun.Name == "make" {
+							add(node, "raw channel creation: channels bypass the instrumented API; use conc.Queue or core.Cond")
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pkg.Info.Types[node.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						add(node, "range over channel: channel scheduling is unrecorded; use conc.Queue")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fs
+}

@@ -1,0 +1,41 @@
+// Package bad is a directive hygiene fixture: malformed, unknown, stale
+// and dangling //tsanrec:* comments.
+package bad
+
+import "repro/internal/core"
+
+// want directive
+//
+//tsanrec:external
+func missingJustification(t *core.Thread) {}
+
+// want directive
+//
+//tsanrec:allow(rawsync)
+func missingReason(t *core.Thread) {}
+
+// want directive
+//
+//tsanrec:allow(nosuchcheck) the named check does not exist
+func unknownCheck(t *core.Thread) {}
+
+// want directive
+//
+//tsanrec:allow(rawsync the parenthesis never closes
+func unclosedParen(t *core.Thread) {}
+
+// want directive
+//
+//tsanrec:frobnicate not a directive verb
+func unknownVerb(t *core.Thread) {}
+
+func stale(t *core.Thread) {
+	// want directive
+	//tsanrec:allow(rawgo) nothing in the next statement uses a go statement
+	_ = t
+}
+
+// The file ends on a directive with nothing to attach to.
+//
+// want directive
+//tsanrec:external dangling: no statement or declaration follows

@@ -1,0 +1,24 @@
+// Package clean is a directive hygiene fixture: well-formed directives
+// that all pull their weight (none is stale).
+package clean
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// externalHelper is outside-world code: the external span suppresses both
+// the raw go statement and the wall-clock sleep inside it.
+//
+//tsanrec:external fixture: external-world helper whose raw timing is the point
+func externalHelper(done func()) {
+	go func() {
+		time.Sleep(time.Millisecond)
+		done()
+	}()
+}
+
+func waived(t *core.Thread) {
+	_ = time.Now() //tsanrec:allow(rawsync) fixture: exercising trailing allow suppression
+}

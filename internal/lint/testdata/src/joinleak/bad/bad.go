@@ -1,0 +1,16 @@
+// Package bad is a joinleak fixture: spawn handles that are provably
+// dropped.
+package bad
+
+import "repro/internal/core"
+
+func discarded(t *core.Thread) {
+	t.Spawn("worker", work) // want joinleak
+}
+
+func boundButNeverJoined(t *core.Thread) {
+	h := t.Spawn("worker", work) // want joinleak
+	_ = h.TID()                  // reading off the handle does not join it
+}
+
+func work(t *core.Thread) {}

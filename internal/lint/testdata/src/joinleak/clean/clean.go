@@ -1,0 +1,38 @@
+// Package clean is a joinleak fixture: every accepted way a handle can be
+// consumed — joined, returned, stored, passed on — plus the waiver path.
+package clean
+
+import "repro/internal/core"
+
+func joined(t *core.Thread) {
+	h := t.Spawn("worker", work)
+	t.Join(h)
+}
+
+func returned(t *core.Thread) *core.Handle {
+	return t.Spawn("worker", work)
+}
+
+func stored(t *core.Thread) {
+	var hs []*core.Handle
+	hs = append(hs, t.Spawn("worker", work))
+	for _, h := range hs {
+		t.Join(h)
+	}
+}
+
+func passedOn(t *core.Thread) {
+	h := t.Spawn("worker", work)
+	joinLater(t, h)
+}
+
+func joinLater(t *core.Thread, h *core.Handle) {
+	t.Join(h)
+}
+
+func waived(t *core.Thread) {
+	h := t.Spawn("daemon", work) //tsanrec:allow(joinleak) fixture: daemon thread drained at teardown by design
+	_ = h.TID()
+}
+
+func work(t *core.Thread) {}

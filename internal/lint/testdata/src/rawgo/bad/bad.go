@@ -1,0 +1,16 @@
+// Package bad is a rawgo fixture: raw go statements in instrumented code.
+package bad
+
+import "repro/internal/core"
+
+func violate(t *core.Thread) {
+	go func() {}() // want rawgo
+	_ = t
+}
+
+func violateNamed(t *core.Thread) {
+	go helper() // want rawgo
+	_ = t
+}
+
+func helper() {}

@@ -1,0 +1,25 @@
+// Package clean is a rawgo fixture: scheduler-mediated spawning plus the
+// two suppression paths (external span, trailing allow).
+package clean
+
+import "repro/internal/core"
+
+func spawned(t *core.Thread) {
+	h := t.Spawn("worker", func(u *core.Thread) {})
+	t.Join(h)
+}
+
+// externalFeeder models outside-world code whose raw concurrency is the
+// point; the external span suppresses the rawgo finding inside it.
+//
+//tsanrec:external fixture: external-world feeder outside the scheduler
+func externalFeeder(done func()) {
+	go done()
+}
+
+func waived(t *core.Thread) {
+	go helper() //tsanrec:allow(rawgo) fixture: exercising the trailing allow suppression path
+	_ = t
+}
+
+func helper() {}

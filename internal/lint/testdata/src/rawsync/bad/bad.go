@@ -1,0 +1,50 @@
+// Package bad is a rawsync fixture: every category of unrecorded
+// nondeterminism the check flags.
+package bad
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+func clocks(t *core.Thread) {
+	time.Sleep(10 * time.Millisecond) // want rawsync
+	_ = time.Now()                    // want rawsync
+	_ = t
+}
+
+func syncs(t *core.Thread) {
+	var mu sync.Mutex // want rawsync
+	mu.Lock()         // want rawsync
+	mu.Unlock()       // want rawsync
+	_ = t
+}
+
+func randomness(t *core.Thread) int {
+	_ = t
+	return rand.Intn(6) // want rawsync
+}
+
+func channels(t *core.Thread) {
+	ch := make(chan int, 1) // want rawsync
+	ch <- 1                 // want rawsync
+	<-ch                    // want rawsync
+	_ = t
+}
+
+func selects(t *core.Thread, a, b chan int) {
+	_ = t
+	select { // want rawsync
+	case <-a:
+	case <-b:
+	}
+}
+
+func ranges(t *core.Thread, ch chan int) {
+	_ = t
+	for range ch { // want rawsync
+	}
+}

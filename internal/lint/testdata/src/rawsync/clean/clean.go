@@ -1,0 +1,22 @@
+// Package clean is a rawsync fixture: the instrumented equivalents of
+// everything the bad fixture does, plus time's deterministic names.
+package clean
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+func paced(rt *core.Runtime, t *core.Thread) {
+	t.Nap(10 * time.Millisecond) // time.Duration arithmetic is deterministic
+	_ = t.ClockGettime()
+	_ = t.Rand()
+
+	mu := rt.NewMutex("mu")
+	mu.Lock(t)
+	mu.Unlock(t)
+
+	const budget = 2 * time.Second // constants are fine too
+	_ = budget
+}

@@ -1,0 +1,23 @@
+// Package bad is a varescape fixture: raw shared state written across
+// thread bodies.
+package bad
+
+import "repro/internal/core"
+
+var hits int // want varescape
+
+func global(t *core.Thread) {
+	a := t.Spawn("a", func(u *core.Thread) { hits++ })
+	b := t.Spawn("b", func(u *core.Thread) { _ = hits })
+	t.Join(a)
+	t.Join(b)
+}
+
+func captured(t *core.Thread) int {
+	count := 0 // want varescape
+	a := t.Spawn("a", func(u *core.Thread) { count++ })
+	b := t.Spawn("b", func(u *core.Thread) { count++ })
+	t.Join(a)
+	t.Join(b)
+	return count
+}

@@ -1,0 +1,39 @@
+// Package clean is a varescape fixture: the sharing patterns the check
+// accepts — instrumented state, read-only sharing, purely local state,
+// and the waiver path.
+package clean
+
+import "repro/internal/core"
+
+func instrumented(rt *core.Runtime, t *core.Thread) int {
+	count := core.NewVar(rt, "count", 0)
+	a := t.Spawn("a", func(u *core.Thread) { count.Update(u, func(v int) int { return v + 1 }) })
+	b := t.Spawn("b", func(u *core.Thread) { count.Update(u, func(v int) int { return v + 1 }) })
+	t.Join(a)
+	t.Join(b)
+	return count.Read(t)
+}
+
+func readOnly(t *core.Thread) {
+	limit := 8 // initialisation before Spawn is published by the spawn edge
+	a := t.Spawn("a", func(u *core.Thread) { _ = limit })
+	b := t.Spawn("b", func(u *core.Thread) { _ = limit })
+	t.Join(a)
+	t.Join(b)
+}
+
+func singleBody(t *core.Thread) {
+	local := 0
+	h := t.Spawn("a", func(u *core.Thread) { local++ })
+	t.Join(h)
+	_ = local // read after Join: one writing body, allowed by the heuristic
+}
+
+var tally int //tsanrec:allow(varescape) fixture: exercising the waiver path on a shared counter
+
+func waived(t *core.Thread) {
+	a := t.Spawn("a", func(u *core.Thread) { tally++ })
+	b := t.Spawn("b", func(u *core.Thread) { tally++ })
+	t.Join(a)
+	t.Join(b)
+}
