@@ -25,6 +25,7 @@ import (
 	"repro/internal/apps/ptrapp"
 	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/obs"
 )
 
 var table1Modes = []string{"tsan11", "tsan11+rr", "rnd", "queue"}
@@ -362,4 +363,72 @@ func BenchmarkSchedulerOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// obsBenchOps is how many visible operations each observability benchmark
+// run performs (yields across two threads, plus the protocol's own ops).
+const obsBenchOps = 4000
+
+func runObsYields(b *testing.B, tr *obs.Tracer, mx *obs.Metrics) uint64 {
+	b.Helper()
+	rt, err := core.New(core.Options{
+		Strategy: demo.StrategyQueue, Seed1: 1, Seed2: 2,
+		MaxTicks: 10_000_000,
+		Trace:    tr, Metrics: mx,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := rt.Run(func(main *core.Thread) {
+		h := main.Spawn("peer", func(t *core.Thread) {
+			for i := 0; i < obsBenchOps/2; i++ {
+				t.Yield()
+			}
+		})
+		for i := 0; i < obsBenchOps/2; i++ {
+			main.Yield()
+		}
+		main.Join(h)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep.Ticks
+}
+
+func benchObsVisibleOps(b *testing.B, tr *obs.Tracer, mx *obs.Metrics) {
+	var ticks uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ticks = runObsYields(b, tr, mx)
+	}
+	b.StopTimer()
+	if ticks > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(ticks), "ns/visible-op")
+	}
+}
+
+// BenchmarkObsDisabled measures the per-visible-op cost of the
+// observability hot path when it is compiled in but off. The delta of
+// "tracer-disabled" over "no-obs" is the price every production run pays
+// for the layer's existence — one nil check at runtime construction and
+// one atomic load per op, a few ns, within the scheduling protocol's own
+// noise.
+func BenchmarkObsDisabled(b *testing.B) {
+	b.Run("no-obs", func(b *testing.B) {
+		benchObsVisibleOps(b, nil, nil)
+	})
+	b.Run("tracer-disabled", func(b *testing.B) {
+		tr := obs.NewTracer(obs.DefaultTracerSize)
+		tr.Disable()
+		benchObsVisibleOps(b, tr, nil)
+	})
+}
+
+// BenchmarkObsEnabled is the comparison point with the ring and metrics
+// hot: every visible op emits a trace event and bumps a kind counter.
+func BenchmarkObsEnabled(b *testing.B) {
+	tr := obs.NewTracer(obs.DefaultTracerSize)
+	mx := obs.NewMetrics()
+	benchObsVisibleOps(b, tr, mx)
 }

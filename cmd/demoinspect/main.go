@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/demo"
 	"repro/internal/env"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,11 +31,12 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("demoinspect", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	verbose := fs.Bool("v", false, "dump individual events and syscalls")
+	statsFlag := fs.Bool("stats", false, "print per-stream event counts and encoded sizes as a metrics table")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(errOut, "usage: demoinspect [-v] <demo file>")
+		fmt.Fprintln(errOut, "usage: demoinspect [-v] [-stats] <demo file>")
 		return 2
 	}
 	data, err := os.ReadFile(fs.Arg(0))
@@ -72,6 +74,19 @@ func run(args []string, out, errOut io.Writer) int {
 		status = 1
 	} else {
 		fmt.Fprintln(out, "validation:  ok")
+	}
+
+	if *statsFlag {
+		m := obs.NewMetrics()
+		m.Add("demo.events.queue", uint64(len(d.Queue.Ticks)))
+		m.Add("demo.events.signal", uint64(len(d.Signals)))
+		m.Add("demo.events.async", uint64(len(d.Asyncs)))
+		m.Add("demo.events.syscall", uint64(len(d.Syscalls)))
+		for section, size := range sizes {
+			m.Add("demo.bytes."+section, uint64(size))
+		}
+		fmt.Fprintln(out, "\nstream metrics:")
+		fmt.Fprint(out, m.Dump())
 	}
 
 	if !*verbose {

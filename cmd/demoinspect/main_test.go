@@ -80,3 +80,17 @@ func TestRunUsage(t *testing.T) {
 		t.Fatalf("run = %d, want 2", code)
 	}
 }
+
+func TestRunStats(t *testing.T) {
+	path := writeDemo(t, sampleDemo())
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-stats", path}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"stream metrics:", "demo.events.signal", "demo.events.syscall", "demo.bytes.queue", "demo.bytes.header"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, got)
+		}
+	}
+}

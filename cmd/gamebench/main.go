@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps/game"
 	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -27,21 +28,29 @@ func main() {
 	plays := flag.Int("plays", 3, "plays per configuration (paper: 5)")
 	bug := flag.Bool("bug", false, "run the networked stale-state bug record/replay experiment")
 	policy := flag.Bool("policy", false, "run the ioctl recording-policy comparison")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the runs' tail to this path")
+	metricsFlag := flag.Bool("metrics", false, "print the observability metrics table at exit")
 	flag.Parse()
+	sess := obs.NewSession(*tracePath, *metricsFlag)
 
 	switch {
 	case *bug:
-		bugExperiment(*seconds)
+		bugExperiment(*seconds, sess)
 	case *policy:
-		policyExperiment(*seconds)
+		policyExperiment(*seconds, sess)
 	default:
-		table5(*seconds, *plays)
+		table5(*seconds, *plays, sess)
+	}
+	if err := sess.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
-func table5(seconds float64, plays int) {
+func table5(seconds float64, plays int, sess *obs.Session) {
 	cfg := game.DefaultConfig()
 	cfg.PlayNanos = int64(seconds * float64(time.Second))
+	cfg.Trace, cfg.Metrics = sess.Tracer, sess.Metrics
 	srv := game.DefaultServerConfig()
 
 	table := &stats.Table{Header: []string{"Setup", "Min", "25th", "Median", "75th", "Max", "Mean", "Overhead"}}
@@ -78,10 +87,11 @@ func table5(seconds float64, plays int) {
 	fmt.Print(table.String())
 }
 
-func bugExperiment(seconds float64) {
+func bugExperiment(seconds float64, sess *obs.Session) {
 	cfg := game.DefaultConfig()
 	cfg.Network = true
 	cfg.PlayNanos = int64(seconds * float64(time.Second))
+	cfg.Trace, cfg.Metrics = sess.Tracer, sess.Metrics
 	srv := game.DefaultServerConfig()
 	srv.Buggy = true
 	srv.MapChangeEvery = 10
@@ -121,9 +131,10 @@ func bugExperiment(seconds float64) {
 	}
 }
 
-func policyExperiment(seconds float64) {
+func policyExperiment(seconds float64, sess *obs.Session) {
 	cfg := game.DefaultConfig()
 	cfg.PlayNanos = int64(seconds * float64(time.Second))
+	cfg.Trace, cfg.Metrics = sess.Tracer, sess.Metrics
 	srv := game.DefaultServerConfig()
 
 	table := &stats.Table{Header: []string{"Policy", "Demo bytes", "Replay frames", "Replay status"}}

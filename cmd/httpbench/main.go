@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/apps/httpd"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -26,10 +27,14 @@ func main() {
 	modeList := flag.String("modes", "native,rr,tsan11,tsan11+rr,rnd,queue,rnd+rec,queue+rec", "modes")
 	noReports := flag.Bool("noreports", false, "suppress race reports (the paper's 'No reports' columns)")
 	demoSize := flag.Bool("demosize", false, "report demo size per request instead of throughput")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the runs' tail to this path")
+	metricsFlag := flag.Bool("metrics", false, "print the observability metrics table at exit")
 	flag.Parse()
+	sess := obs.NewSession(*tracePath, *metricsFlag)
 
 	cfg := httpd.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.Trace, cfg.Metrics = sess.Tracer, sess.Metrics
 
 	if *demoSize {
 		demoSizeReport(cfg, *concurrency)
@@ -69,6 +74,10 @@ func main() {
 	fmt.Printf("Table 2 (model): httpd, %d queries x %d clients, %d runs per row (%s)\n\n",
 		*requests, *concurrency, *runs, reports)
 	fmt.Print(table.String())
+	if err := sess.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func demoSizeReport(cfg httpd.Config, concurrency int) {

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/apps/litmus"
 	"repro/internal/apps/modes"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -24,7 +25,10 @@ func main() {
 	runs := flag.Int("runs", 200, "executions per program per mode (paper: 1000)")
 	modeList := flag.String("modes", "tsan11,tsan11+rr,rnd,queue", "comma-separated mode list")
 	programs := flag.String("programs", "all", "comma-separated program list or 'all'")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the runs' tail to this path")
+	metricsFlag := flag.Bool("metrics", false, "print the observability metrics table at exit")
 	flag.Parse()
+	sess := obs.NewSession(*tracePath, *metricsFlag)
 
 	var selected []litmus.Program
 	if *programs == "all" {
@@ -58,6 +62,7 @@ func main() {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(2)
 				}
+				opts.Trace, opts.Metrics = sess.Tracer, sess.Metrics
 				res := litmus.RunOnce(p, opts)
 				if res.Err != nil {
 					fmt.Fprintf(os.Stderr, "%s/%s run %d: %v\n", p.Name, mode, r, res.Err)
@@ -80,4 +85,8 @@ func main() {
 	fmt.Println("strategy orders away on most programs; dekker-fences races ~50%")
 	fmt.Println("under every controlled strategy; ms-queue races always; the rr")
 	fmt.Println("model adds a large constant overhead.")
+	if err := sess.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

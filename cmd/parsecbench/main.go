@@ -18,6 +18,7 @@ import (
 	"repro/internal/apps/parsec"
 	"repro/internal/apps/pbzip"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -29,8 +30,11 @@ func main() {
 	size := flag.Int("size", 1, "workload scale factor")
 	inputKB := flag.Int("input", 256, "pbzip input size in KiB (paper: 400MB)")
 	modeList := flag.String("modes", strings.Join(configurations, ","), "modes")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the runs' tail to this path")
+	metricsFlag := flag.Bool("metrics", false, "print the observability metrics table at exit")
 	flag.Parse()
 	selected := strings.Split(*modeList, ",")
+	sess := obs.NewSession(*tracePath, *metricsFlag)
 
 	header := append([]string{"Program"}, selected...)
 	timeTable := &stats.Table{Header: header}
@@ -46,6 +50,7 @@ func main() {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(2)
 				}
+				opts.Trace, opts.Metrics = sess.Tracer, sess.Metrics
 				d, err := run(parsecOpts{mode: mode, core: opts})
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "%s/%s: %v\n", name, mode, err)
@@ -98,6 +103,10 @@ func main() {
 	fmt.Println("streamcluster/bodytrack show queue well below rnd; tsan11+rr is")
 	fmt.Println("the most expensive configuration; recording adds little on top")
 	fmt.Println("of controlled scheduling.")
+	if err := sess.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 type parsecOpts struct {

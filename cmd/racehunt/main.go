@@ -19,6 +19,7 @@ import (
 	"repro/internal/apps/litmus"
 	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,7 +28,10 @@ func main() {
 	maxSeeds := flag.Int("max", 10000, "seeds per strategy")
 	out := flag.String("o", "", "write the racy demo to this file")
 	verify := flag.Bool("verify", true, "replay the demo and confirm the race reproduces")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the hunt's tail to this path")
+	metricsFlag := flag.Bool("metrics", false, "print the observability metrics table at exit")
 	flag.Parse()
+	sess := obs.NewSession(*tracePath, *metricsFlag)
 
 	p, ok := litmus.ByName(*programName)
 	if !ok {
@@ -56,6 +60,7 @@ func main() {
 			rt, err := core.New(core.Options{
 				Strategy: strat, Seed1: seed, Seed2: seed * 2654435761,
 				Record: true, ReportRaces: true,
+				Trace: sess.Tracer, Metrics: sess.Metrics,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -74,7 +79,8 @@ func main() {
 				fmt.Printf("    %v\n", r)
 			}
 			if *verify {
-				rt2, err := core.New(core.Options{Strategy: strat, Replay: rep.Demo, ReportRaces: true})
+				rt2, err := core.New(core.Options{Strategy: strat, Replay: rep.Demo, ReportRaces: true,
+					Trace: sess.Tracer, Metrics: sess.Metrics})
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
@@ -99,5 +105,9 @@ func main() {
 		if attempts == *maxSeeds {
 			fmt.Printf("  no race in %d attempts\n", attempts)
 		}
+	}
+	if err := sess.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

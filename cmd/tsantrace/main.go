@@ -1,0 +1,106 @@
+// Command tsantrace validates and summarises execution traces produced by
+// the -trace flag of the bench drivers (Chrome trace_event JSON, viewable
+// in chrome://tracing or https://ui.perfetto.dev).
+//
+// Usage:
+//
+//	tsantrace [-stats] [-top N] trace.json
+//
+// The trace is structurally validated: every event needs a name and a
+// known phase, and per-track timestamps must be monotonic (trace order is
+// tick order, so a non-monotonic track means the exporter or tracer is
+// broken). Exit status: 0 for a valid trace, 1 for a file that cannot be
+// read or validated, 2 for a usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("tsantrace", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	statsFlag := fs.Bool("stats", false, "print a per-event-name count table")
+	top := fs.Int("top", 10, "number of event names in the summary")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(errOut, "usage: tsantrace [-stats] [-top N] <trace.json>")
+		return 2
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	ts, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(errOut, "invalid trace: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(out, "valid Chrome trace: %d events on %d tracks, ts %.0f..%.0f\n",
+		ts.Events, ts.Threads, ts.MinTS, ts.MaxTS)
+
+	names := make([]string, 0, len(ts.ByName))
+	for name := range ts.ByName {
+		names = append(names, name)
+	}
+	// Most frequent first; ties alphabetical so output is deterministic.
+	sort.Slice(names, func(i, j int) bool {
+		if ts.ByName[names[i]] != ts.ByName[names[j]] {
+			return ts.ByName[names[i]] > ts.ByName[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	shown := names
+	if !*statsFlag && len(shown) > *top {
+		shown = shown[:*top]
+	}
+	tbl := &stats.Table{Header: []string{"event", "count"}}
+	for _, name := range shown {
+		tbl.AddRow(name, fmt.Sprintf("%d", ts.ByName[name]))
+	}
+	fmt.Fprint(out, tbl.String())
+	if !*statsFlag && len(names) > len(shown) {
+		fmt.Fprintf(out, "(%d more event names; -stats shows all)\n", len(names)-len(shown))
+	}
+
+	if *statsFlag {
+		tracks := make([]int64, 0, len(ts.ByTrack))
+		for tr := range ts.ByTrack {
+			tracks = append(tracks, tr)
+		}
+		sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
+		ttbl := &stats.Table{Header: []string{"track", "events"}}
+		for _, tr := range tracks {
+			ttbl.AddRow(trackName(tr), fmt.Sprintf("%d", ts.ByTrack[tr]))
+		}
+		fmt.Fprint(out, ttbl.String())
+	}
+	return 0
+}
+
+// trackName renders a Chrome tid, unfolding the synthetic tracks the
+// exporter reserves for the scheduler and the external world.
+func trackName(tid int64) string {
+	switch tid {
+	case 1_000_000:
+		return "scheduler"
+	case 1_000_001:
+		return "external"
+	default:
+		return fmt.Sprintf("thread %d", tid)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	tr := obs.NewTracer(64)
+	tr.Emit(obs.Event{Tick: 1, TID: 0, Kind: obs.KindSpawn, Arg: 1})
+	tr.Emit(obs.Event{Tick: 2, TID: 1, Kind: obs.KindMutexLock, Obj: 0x7})
+	tr.Emit(obs.Event{Tick: 3, TID: 0, Kind: obs.KindSchedule})
+	tr.Emit(obs.Event{TID: -1, Kind: obs.KindExternal, Obj: 80})
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, tr.Snapshot(), map[int32]string{0: "main", 1: "worker"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidTrace(t *testing.T) {
+	path := writeTrace(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "valid Chrome trace") {
+		t.Fatalf("missing summary line:\n%s", got)
+	}
+	for _, want := range []string{"spawn", "mutex_lock", "schedule", "external"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing event name %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestStatsShowsTracks(t *testing.T) {
+	path := writeTrace(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-stats", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"scheduler", "external", "thread 0", "thread 1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-stats missing track %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestInvalidTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d for invalid trace, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "invalid trace") {
+		t.Fatalf("stderr %q", errOut.String())
+	}
+}
+
+func TestUsageError(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for missing args, want 2", code)
+	}
+}

@@ -4,11 +4,13 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/demo"
+	"repro/internal/obs"
 )
 
 // program is a store-buffering idiom with a missing release: the reader
@@ -38,6 +40,10 @@ func program(rt *core.Runtime) func(*core.Thread) {
 }
 
 func main() {
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the find+replay session to this path")
+	flag.Parse()
+	sess := obs.NewSession(*tracePath, false)
+
 	// 1. Hunt for the race across seeds, recording each attempt.
 	var recorded *demo.Demo
 	for seed := uint64(1); seed <= 100; seed++ {
@@ -47,6 +53,7 @@ func main() {
 			Seed2:       seed ^ 0xbeef,
 			Record:      true,
 			ReportRaces: true,
+			Trace:       sess.Tracer,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -76,6 +83,7 @@ func main() {
 			Strategy:    demo.StrategyRandom,
 			Replay:      recorded,
 			ReportRaces: true,
+			Trace:       sess.Tracer,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -83,10 +91,20 @@ func main() {
 		}
 		rep, err := rt.Run(program(rt))
 		if err != nil {
+			// A replay that hard-desynchronises carries a forensics report:
+			// the diverging tick, thread and stream plus the trace tail.
+			if rep != nil && rep.Forensics != nil {
+				fmt.Print(rep.Forensics.Render())
+			}
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("replay %d: races=%d softDesync=%v output=%q\n",
 			i+1, rep.RaceCount(), rep.SoftDesync, rep.Output)
+		sess.SetThreadNames(rt.ThreadNames())
+	}
+	if err := sess.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -36,6 +36,7 @@ func PlayOpts(cfg Config, srv ServerConfig, opts core.Options) Outcome {
 func playWith(cfg Config, srv ServerConfig, opts core.Options) Outcome {
 	world := env.NewWorld(opts.Seed1 ^ opts.Seed2)
 	opts.World = world
+	opts.Trace, opts.Metrics = cfg.Trace, cfg.Metrics
 	if opts.WallTimeout == 0 {
 		opts.WallTimeout = 120 * time.Second
 	}
@@ -74,6 +75,8 @@ func Replay(cfg Config, d *demo.Demo, policy core.Policy) Outcome {
 		Policy:      policy,
 		WallTimeout: 120 * time.Second,
 		MaxTicks:    100_000_000,
+		Trace:       cfg.Trace,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		return Outcome{Err: err}

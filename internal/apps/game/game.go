@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/env"
+	"repro/internal/obs"
 )
 
 // Well-known ports of the external world.
@@ -45,6 +46,10 @@ type Config struct {
 	// FrameBufferBytes is the payload each GLSwap carries; recording
 	// policies that capture ioctl pay for it in the demo.
 	FrameBufferBytes int
+	// Trace and Metrics are optional observability sinks threaded into the
+	// runtime (nil disables them; see internal/obs).
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 // DefaultConfig is a short playable session.

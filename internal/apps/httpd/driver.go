@@ -46,6 +46,7 @@ func RunExperiment(cfg Config, mode string, seed uint64, reportRaces bool, reque
 	opts.World = world
 	opts.WallTimeout = 120 * time.Second
 	opts.MaxTicks = 200_000_000
+	opts.Trace, opts.Metrics = cfg.Trace, cfg.Metrics
 	rt, err := core.New(opts)
 	if err != nil {
 		return Outcome{Err: err}
@@ -88,6 +89,8 @@ func Replay(cfg Config, d *demo.Demo, reportRaces bool) Outcome {
 		ReportRaces: reportRaces,
 		WallTimeout: 120 * time.Second,
 		MaxTicks:    200_000_000,
+		Trace:       cfg.Trace,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
 		return Outcome{Err: err}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/env"
+	"repro/internal/obs"
 )
 
 // SigTerm is the shutdown signal the load driver sends when done.
@@ -28,6 +29,10 @@ type Config struct {
 	// StatsCells is the number of unsynchronised per-path statistics
 	// counters (the seeded races). 0 disables them.
 	StatsCells int
+	// Trace and Metrics are optional observability sinks threaded into the
+	// runtime (nil disables them; see internal/obs).
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
 }
 
 // DefaultConfig mirrors the paper's single-process-multiple-thread setup.

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/demo"
 	"repro/internal/env"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/sched"
 	"repro/internal/tsan"
@@ -103,6 +104,15 @@ type Options struct {
 	// paper's substrate never would. 0 = 100µs default; negative disables.
 	// Ignored during replay (the demo dictates the schedule).
 	SpawnDelay time.Duration
+	// Trace, if non-nil, receives a structured event per visible
+	// operation, scheduling decision and record/replay stream event. The
+	// tracer is always compiled in; present-but-disabled it costs a few
+	// nanoseconds per visible operation (an atomic enabled check).
+	Trace *obs.Tracer
+	// Metrics, if non-nil, receives runtime counters and histograms:
+	// visible operations by kind, scheduler decisions by strategy, demo
+	// bytes by stream, desync counts and run durations.
+	Metrics *obs.Metrics
 }
 
 // Report summarises one execution.
@@ -130,6 +140,12 @@ type Report struct {
 	// (the last ≤64 ticks), populated when Err is non-nil to aid desync
 	// diagnosis.
 	RecentSchedule []string
+	// Forensics is the desync report, populated whenever the run ended in
+	// a hard desynchronisation (Err is a *demo.DesyncError) or a soft one
+	// (SoftDesync). It names the divergence point, diffs the recorded
+	// expectation against what the replay observed, and carries the demo
+	// cursor and the trace ring's tail.
+	Forensics *obs.Forensics
 }
 
 // RaceCount returns the number of distinct races in the report.
@@ -144,6 +160,15 @@ type Runtime struct {
 	rec   *demo.Recorder
 	rep   *demo.Replayer
 	world *env.World
+
+	// Observability. tr and mx are nil-safe; obsOn gates the per-critical
+	// event assembly so an unobserved run pays a single bool check. The
+	// opCount handles are resolved once here so the per-operation metrics
+	// bump is a lock-free atomic add.
+	tr      *obs.Tracer
+	mx      *obs.Metrics
+	obsOn   bool
+	opCount [obs.NumKinds]*obs.Counter
 
 	cpu cpuToken // rr-model sequentialisation token
 
@@ -190,6 +215,14 @@ func New(opts Options) (*Runtime, error) {
 		sigTID:   0,
 		uthreads: make(map[TID]*Thread),
 		stopWdog: make(chan struct{}),
+		tr:       opts.Trace,
+		mx:       opts.Metrics,
+		obsOn:    opts.Trace != nil || opts.Metrics != nil,
+	}
+	if opts.Metrics != nil {
+		for k := obs.KindYield; k <= obs.KindOp; k++ {
+			rt.opCount[k] = opts.Metrics.Counter("ops." + k.String())
+		}
 	}
 	seed1, seed2 := opts.Seed1, opts.Seed2
 
@@ -200,10 +233,12 @@ func New(opts Options) (*Runtime, error) {
 			SequentialConsistency: opts.SequentialConsistency,
 		})
 		rt.det.SetReporting(opts.ReportRaces)
+		rt.det.SetTrace(rt.tr)
 		rt.world = opts.World
 		if rt.world == nil {
 			rt.world = env.NewWorld(seed1 ^ seed2)
 		}
+		rt.world.SetTrace(rt.tr)
 		rt.arena.init(opts.DeterministicAlloc)
 		rt.world.RegisterSignalSink(func(sig int32) { rt.deliverSignal(sig) })
 		return rt, nil
@@ -230,6 +265,8 @@ func New(opts Options) (*Runtime, error) {
 		MaxTicks:  opts.MaxTicks,
 		PCTDepth:  opts.PCTDepth,
 		PCTLength: opts.PCTLength,
+		Trace:     opts.Trace,
+		Metrics:   opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -242,10 +279,12 @@ func New(opts Options) (*Runtime, error) {
 		SequentialConsistency: opts.SequentialConsistency,
 	})
 	rt.det.SetReporting(opts.ReportRaces)
+	rt.det.SetTrace(rt.tr)
 	rt.world = opts.World
 	if rt.world == nil {
 		rt.world = env.NewWorld(seed1 ^ seed2)
 	}
+	rt.world.SetTrace(rt.tr)
 	rt.arena.init(opts.DeterministicAlloc)
 	rt.world.RegisterSignalSink(func(sig int32) { rt.deliverSignal(sig) })
 	return rt, nil
@@ -285,6 +324,7 @@ func (rt *Runtime) Run(fn func(t *Thread)) (*Report, error) {
 	if rt.opts.Uncontrolled {
 		return rt.runUncontrolled(fn)
 	}
+	start := time.Now()
 	main := newThread(rt, 0, "main")
 	if rt.opts.StartupOverhead > 0 {
 		spin(rt.opts.StartupOverhead)
@@ -326,7 +366,17 @@ func (rt *Runtime) Run(fn func(t *Thread)) (*Report, error) {
 	}
 	if rt.rep != nil {
 		if err == nil {
-			err = rt.rep.LeftoverError(rt.sch.TickCount())
+			if lerr := rt.rep.LeftoverError(rt.sch.TickCount()); lerr != nil {
+				err = lerr
+				// Desyncs raised mid-run flow through the scheduler's
+				// failLocked and are traced there; leftover constraints are
+				// only discovered here, so trace them here.
+				var lde *demo.DesyncError
+				if errors.As(lerr, &lde) && rt.tr.Enabled() {
+					rt.tr.Emit(obs.Event{Tick: lde.Tick, TID: lde.TID, Kind: obs.KindDesync,
+						Stream: obs.StreamFromName(lde.Stream), Offset: lde.Offset})
+				}
+			}
 		}
 		rep.SoftDesync = rt.rep.SoftDesynced()
 	}
@@ -334,7 +384,59 @@ func (rt *Runtime) Run(fn func(t *Thread)) (*Report, error) {
 	if err != nil {
 		rep.RecentSchedule = rt.sch.RecentSchedule()
 	}
+	rt.finishObs(rep, start)
 	return rep, err
+}
+
+// forensicsTail is how many trailing trace events a desync report carries.
+const forensicsTail = 32
+
+// finishObs folds the run's aggregates into the metrics registry and, if
+// the run desynchronised, assembles the forensics report.
+func (rt *Runtime) finishObs(rep *Report, start time.Time) {
+	if rt.mx != nil {
+		mode := "plain"
+		switch {
+		case rt.rec != nil:
+			mode = "record"
+		case rt.rep != nil:
+			mode = "replay"
+		}
+		rt.mx.Histogram("run.ms." + mode).Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		rt.mx.Histogram("run.ticks").Observe(float64(rep.Ticks))
+		if n := len(rep.Races); n > 0 {
+			rt.mx.Add("races.reported", uint64(n))
+		}
+		if rep.Demo != nil {
+			for section, size := range rep.Demo.SectionSizes() {
+				rt.mx.Add("demo.bytes."+section, uint64(size))
+			}
+		}
+	}
+	var de *demo.DesyncError
+	hard := errors.As(rep.Err, &de)
+	if !hard && !rep.SoftDesync {
+		return
+	}
+	if hard {
+		rt.mx.Add("desync.hard", 1)
+	} else {
+		rt.mx.Add("desync.soft", 1)
+	}
+	f := &obs.Forensics{Desync: de, Soft: !hard, Events: rt.tr.Last(forensicsTail)}
+	if rt.rep != nil {
+		consumed, total := rt.rep.SyscallCursor()
+		d := rt.rep.Demo()
+		f.Cursor = obs.CursorInfo{
+			ReplayTick:       rep.Ticks,
+			FinalTick:        d.FinalTick,
+			SyscallsConsumed: consumed,
+			SyscallsTotal:    total,
+			SignalsTotal:     len(d.Signals),
+			AsyncsTotal:      len(d.Asyncs),
+		}
+	}
+	rep.Forensics = f
 }
 
 // threadBody runs fn on t, recovering scheduler aborts and application
@@ -467,4 +569,20 @@ func (c *cpuToken) release(t *Thread) {
 		return
 	}
 	c.lk.Unlock()
+}
+
+// ThreadNames returns the debug names of every thread the run created,
+// keyed by scheduler tid — the track labels for the Chrome trace export.
+func (rt *Runtime) ThreadNames() map[int32]string {
+	if rt.opts.Uncontrolled {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		names := make(map[int32]string, len(rt.uthreads)+1)
+		names[0] = "main"
+		for tid, th := range rt.uthreads {
+			names[int32(tid)] = th.name
+		}
+		return names
+	}
+	return rt.sch.ThreadNames()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/tsan"
 )
 
@@ -24,6 +25,7 @@ type MemoryOrder = tsan.MemoryOrder
 // recorded-deterministic PRNG draw (the tsan11 memory model).
 type Atomic64 struct {
 	rt    *Runtime
+	id    uint64 // object id carried by trace events
 	name  string
 	state *tsan.AtomicState
 	nval  uint64 // native baseline backing value
@@ -32,17 +34,17 @@ type Atomic64 struct {
 // NewAtomic64 creates an atomic location. Must be called before Run (setup
 // code); for creation from inside the program use Thread.NewAtomic64.
 func (rt *Runtime) NewAtomic64(name string, init uint64) *Atomic64 {
-	return &Atomic64{rt: rt, name: name, state: tsan.NewAtomicState(rt.det, 0, init), nval: init}
+	return &Atomic64{rt: rt, id: rt.nextSyncID(), name: name, state: tsan.NewAtomicState(rt.det, 0, init), nval: init}
 }
 
 // NewAtomic64 creates an atomic location from running code; creation is a
 // visible operation so the initialising write is attributed correctly.
 func (t *Thread) NewAtomic64(name string, init uint64) *Atomic64 {
-	a := &Atomic64{rt: t.rt, name: name, nval: init}
+	a := &Atomic64{rt: t.rt, id: t.rt.nextSyncID(), name: name, nval: init}
 	if t.rt.native() {
 		return a
 	}
-	t.critical(func() {
+	t.criticalOp(obs.KindAtomicStore, a.id, func() {
 		t.rt.detMu.Lock()
 		a.state = tsan.NewAtomicState(t.rt.det, t.id, init)
 		t.rt.detMu.Unlock()
@@ -56,10 +58,11 @@ func (a *Atomic64) Load(t *Thread, order MemoryOrder) uint64 {
 		return atomic.LoadUint64(&a.nval)
 	}
 	var v uint64
-	t.critical(func() {
+	t.criticalOp(obs.KindAtomicLoad, a.id, func() {
 		a.rt.detMu.Lock()
 		v = a.rt.det.Load(a.state, t.id, order)
 		a.rt.detMu.Unlock()
+		t.evArg = int64(v)
 	})
 	return v
 }
@@ -70,10 +73,11 @@ func (a *Atomic64) Store(t *Thread, v uint64, order MemoryOrder) {
 		atomic.StoreUint64(&a.nval, v)
 		return
 	}
-	t.critical(func() {
+	t.criticalOp(obs.KindAtomicStore, a.id, func() {
 		a.rt.detMu.Lock()
 		a.rt.det.Store(a.state, t.id, v, order)
 		a.rt.detMu.Unlock()
+		t.evArg = int64(v)
 	})
 }
 
@@ -83,10 +87,11 @@ func (a *Atomic64) Add(t *Thread, delta uint64, order MemoryOrder) uint64 {
 		return atomic.AddUint64(&a.nval, delta) - delta
 	}
 	var old uint64
-	t.critical(func() {
+	t.criticalOp(obs.KindAtomicRMW, a.id, func() {
 		a.rt.detMu.Lock()
 		old = a.rt.det.RMW(a.state, t.id, order, func(o uint64) uint64 { return o + delta })
 		a.rt.detMu.Unlock()
+		t.evArg = int64(old)
 	})
 	return old
 }
@@ -97,10 +102,11 @@ func (a *Atomic64) Exchange(t *Thread, v uint64, order MemoryOrder) uint64 {
 		return atomic.SwapUint64(&a.nval, v)
 	}
 	var old uint64
-	t.critical(func() {
+	t.criticalOp(obs.KindAtomicRMW, a.id, func() {
 		a.rt.detMu.Lock()
 		old = a.rt.det.RMW(a.state, t.id, order, func(uint64) uint64 { return v })
 		a.rt.detMu.Unlock()
+		t.evArg = int64(old)
 	})
 	return old
 }
@@ -117,10 +123,11 @@ func (a *Atomic64) CompareExchange(t *Thread, expected, desired uint64, order, f
 	}
 	var old uint64
 	var ok bool
-	t.critical(func() {
+	t.criticalOp(obs.KindAtomicRMW, a.id, func() {
 		a.rt.detMu.Lock()
 		old, ok = a.rt.det.CompareExchange(a.state, t.id, expected, desired, order, failOrder)
 		a.rt.detMu.Unlock()
+		t.evArg = int64(old)
 	})
 	return old, ok
 }
@@ -140,7 +147,7 @@ func (t *Thread) Fence(order MemoryOrder) {
 	if t.rt.native() {
 		return
 	}
-	t.critical(func() {
+	t.criticalOp(obs.KindFence, uint64(order), func() {
 		t.rt.detMu.Lock()
 		t.rt.det.Fence(t.id, order)
 		t.rt.detMu.Unlock()

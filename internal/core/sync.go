@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -36,11 +37,12 @@ func (m *Mutex) Lock(t *Thread) {
 	}
 	for {
 		acquired := false
-		t.critical(func() {
+		t.criticalOp(obs.KindMutexLock, m.id, func() {
 			if !m.locked {
 				m.locked = true
 				m.owner = t.id
 				acquired = true
+				t.evArg = 1
 				rt.detMu.Lock()
 				rt.det.AcquireEdge(t.id, &m.clock)
 				rt.detMu.Unlock()
@@ -65,11 +67,12 @@ func (m *Mutex) TryLock(t *Thread) bool {
 		return m.uncontrolledTryLock(t)
 	}
 	acquired := false
-	t.critical(func() {
+	t.criticalOp(obs.KindMutexLock, m.id, func() {
 		if !m.locked {
 			m.locked = true
 			m.owner = t.id
 			acquired = true
+			t.evArg = 1
 			rt.detMu.Lock()
 			rt.det.AcquireEdge(t.id, &m.clock)
 			rt.detMu.Unlock()
@@ -85,7 +88,7 @@ func (m *Mutex) Unlock(t *Thread) {
 		m.uncontrolledUnlock(t)
 		return
 	}
-	t.critical(func() {
+	t.criticalOp(obs.KindMutexUnlock, m.id, func() {
 		if !m.locked || m.owner != t.id {
 			panic("core: unlock of mutex not held by this thread: " + m.name)
 		}
@@ -154,7 +157,7 @@ func (c *Cond) wait(t *Thread, timed bool) WaitResult {
 	if rt.opts.Uncontrolled {
 		return c.uncontrolledWait(t, timed)
 	}
-	t.critical(func() {
+	t.criticalOp(obs.KindCondWait, c.id, func() {
 		if !c.m.locked || c.m.owner != t.id {
 			panic("core: cond wait without holding mutex: " + c.name)
 		}
@@ -168,10 +171,11 @@ func (c *Cond) wait(t *Thread, timed bool) WaitResult {
 	})
 	c.m.Lock(t)
 	var took bool
-	t.critical(func() {
+	t.criticalOp(obs.KindCondWait, c.id, func() {
 		rt.sch.CondDeregister(t.id, c.id)
 		took = rt.sch.CondTook(t.id)
 		if took {
+			t.evArg = 1
 			rt.detMu.Lock()
 			rt.det.AcquireEdge(t.id, &c.clock)
 			rt.detMu.Unlock()
@@ -194,7 +198,7 @@ func (c *Cond) Signal(t *Thread) {
 		c.uncontrolledSignal(t, false)
 		return
 	}
-	t.critical(func() {
+	t.criticalOp(obs.KindCondSignal, c.id, func() {
 		rt.detMu.Lock()
 		rt.det.ReleaseEdge(t.id, &c.clock)
 		rt.detMu.Unlock()
@@ -209,7 +213,7 @@ func (c *Cond) Broadcast(t *Thread) {
 		c.uncontrolledSignal(t, true)
 		return
 	}
-	t.critical(func() {
+	t.criticalOp(obs.KindCondBroadcast, c.id, func() {
 		rt.detMu.Lock()
 		rt.det.ReleaseEdge(t.id, &c.clock)
 		rt.detMu.Unlock()
@@ -230,7 +234,7 @@ func (t *Thread) Signal(sig int32, handler func(t *Thread, sig int32)) {
 		rt.mu.Unlock()
 		return
 	}
-	t.critical(func() {
+	t.criticalOp(obs.KindSigBind, uint64(uint32(sig)), func() {
 		rt.mu.Lock()
 		rt.handlers[sig] = handler
 		rt.sigTID = t.id

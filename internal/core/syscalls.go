@@ -2,10 +2,12 @@ package core
 
 import (
 	"encoding/binary"
+	"fmt"
 	"time"
 
 	"repro/internal/demo"
 	"repro/internal/env"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -31,13 +33,14 @@ func (t *Thread) syscall(kind env.Sys, fd int, live func() sysResult) sysResult 
 		spin(rt.opts.PerEventOverhead)
 	}
 	var res sysResult
-	t.critical(func() {
+	t.criticalOp(obs.KindSyscall, uint64(kind), func() {
 		fdk := env.FDInvalid
 		if fd >= 0 {
 			fdk = rt.world.FDType(fd)
 		}
 		record := rt.opts.Policy.ShouldRecord(kind, fdk)
 		if rt.rep != nil && record {
+			consumed, _ := rt.rep.SyscallCursor()
 			rec, err := rt.rep.NextSyscall(int32(t.id), uint16(kind), rt.sch.TickCount())
 			if err != nil {
 				rt.sch.Stop(err)
@@ -45,15 +48,19 @@ func (t *Thread) syscall(kind env.Sys, fd int, live func() sysResult) sysResult 
 			}
 			res = sysResult{ret: rec.Ret, errno: env.Errno(rec.Errno), bufs: rec.Bufs}
 			rt.replayFixup(kind, &res)
+			t.evArg = res.ret
+			t.evStream, t.evOff = obs.StreamSyscall, uint64(consumed)
 			return
 		}
 		res = live()
 		if rt.rec != nil && record {
-			rt.rec.AddSyscall(demo.SyscallRecord{
+			idx := rt.rec.AddSyscall(demo.SyscallRecord{
 				TID: int32(t.id), Kind: uint16(kind),
 				Ret: res.ret, Errno: int32(res.errno), Bufs: res.bufs,
 			})
+			t.evStream, t.evOff = obs.StreamSyscall, uint64(idx)
 		}
+		t.evArg = res.ret
 	})
 	return res
 }
@@ -67,9 +74,13 @@ func (rt *Runtime) replayFixup(kind env.Sys, res *sysResult) {
 		if res.ret >= 0 {
 			got := rt.world.AllocPlaceholder(env.FDSocket)
 			if int64(got) != res.ret {
+				consumed, _ := rt.rep.SyscallCursor()
 				err := &demo.DesyncError{
 					Stream: "SYSCALL", Tick: rt.sch.TickCount(),
-					Reason: "replayed accept returned fd out of step with the fd table",
+					Offset:   uint64(consumed),
+					Reason:   "replayed accept returned fd out of step with the fd table",
+					Expected: fmt.Sprintf("accept -> fd %d", res.ret),
+					Observed: fmt.Sprintf("fd table would hand out fd %d", got),
 				}
 				rt.sch.Stop(err)
 				panic(sched.Abort{Err: err})

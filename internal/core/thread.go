@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/demo"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
@@ -16,6 +17,14 @@ type Thread struct {
 	id   TID
 	name string
 	rand *prng.Source // per-thread deterministic PRNG for application logic
+
+	// Pending trace-event details an operation body can fill in for values
+	// only known inside the critical section (a syscall's return value and
+	// stream offset, a spawned child's tid). Only read when observability
+	// is on; owned by the thread's own goroutine, so unsynchronised.
+	evArg    int64
+	evStream obs.Stream
+	evOff    uint64
 
 	// uncontrolled-mode state
 	udone    chan struct{}
@@ -35,12 +44,20 @@ func (t *Thread) Name() string { return t.name }
 // Runtime returns the owning runtime.
 func (t *Thread) Runtime() *Runtime { return t.rt }
 
-// critical executes fn as one visible operation: a Wait/Tick critical
+// critical executes fn as one generic visible operation; see criticalOp.
+func (t *Thread) critical(fn func()) { t.criticalOp(obs.KindOp, 0, fn) }
+
+// criticalOp executes fn as one visible operation: a Wait/Tick critical
 // section (§3.1). If an asynchronous signal is pending when the thread is
 // activated, the critical section becomes the signal-handler entry instead
 // (itself a visible operation, §3.2/§4.3), the handler body runs, and the
 // original operation is retried.
-func (t *Thread) critical(fn func()) {
+//
+// kind and obj classify the operation for the observability layer; when
+// tracing or metrics are on, the event is emitted inside the scheduler's
+// Tick so trace order equals tick order. fn can refine the event through
+// t.evArg/evStream/evOff.
+func (t *Thread) criticalOp(kind obs.Kind, obj uint64, fn func()) {
 	rt := t.rt
 	if rt.opts.Uncontrolled {
 		t.uncontrolledCritical(fn)
@@ -61,14 +78,26 @@ func (t *Thread) critical(fn func()) {
 			rt.mu.Lock()
 			h := rt.handlers[sig]
 			rt.mu.Unlock()
-			rt.sch.Tick(t.id)
+			if rt.obsOn {
+				rt.sch.TickEvent(t.id, obs.Event{Kind: obs.KindSigHandler, Obj: uint64(uint32(sig))})
+				rt.opCount[obs.KindSigHandler].Add(1)
+			} else {
+				rt.sch.Tick(t.id)
+			}
 			if h != nil {
 				h(t, sig)
 			}
 			continue
 		}
 		fn()
-		rt.sch.Tick(t.id)
+		if rt.obsOn {
+			rt.sch.TickEvent(t.id, obs.Event{Kind: kind, Obj: obj,
+				Arg: t.evArg, Stream: t.evStream, Offset: t.evOff})
+			rt.opCount[kind].Add(1)
+			t.evArg, t.evStream, t.evOff = 0, obs.StreamNone, 0
+		} else {
+			rt.sch.Tick(t.id)
+		}
 		return
 	}
 }
@@ -79,7 +108,7 @@ func (t *Thread) Yield() {
 		runtime.Gosched()
 		return
 	}
-	t.critical(func() {})
+	t.criticalOp(obs.KindYield, 0, func() {})
 }
 
 // Rand returns the thread's deterministic PRNG, for application-level
@@ -122,12 +151,13 @@ func (t *Thread) Spawn(name string, fn func(*Thread)) *Handle {
 		return h
 	}
 	var child *Thread
-	t.critical(func() {
+	t.criticalOp(obs.KindSpawn, 0, func() {
 		ctid := rt.sch.ThreadNew(t.id, name)
 		rt.detMu.Lock()
 		rt.det.OnThreadCreate(t.id, ctid)
 		rt.detMu.Unlock()
 		child = newThread(rt, ctid, name)
+		t.evArg = int64(ctid)
 	})
 	rt.wg.Add(1)
 	go func() {
@@ -159,7 +189,7 @@ func (t *Thread) Join(h *Handle) {
 	}
 	for {
 		finished := false
-		t.critical(func() {
+		t.criticalOp(obs.KindJoin, uint64(uint32(h.t.id)), func() {
 			finished = rt.sch.ThreadJoin(t.id, h.t.id)
 			if finished {
 				rt.detMu.Lock()
@@ -181,7 +211,7 @@ func (t *Thread) exit() {
 	if t.rt.opts.Uncontrolled {
 		return
 	}
-	t.critical(func() {
+	t.criticalOp(obs.KindExit, 0, func() {
 		t.rt.sch.ThreadDelete(t.id)
 	})
 }

@@ -136,15 +136,28 @@ type Demo struct {
 }
 
 // DesyncError reports a hard desynchronisation: a demo constraint that the
-// replay could not enforce. Stream names the constraint stream.
+// replay could not enforce. Stream names the constraint stream; TID is the
+// thread at which enforcement failed; Offset is the cursor position inside
+// the stream (tick index for QUEUE, record index for SYSCALL/SIGNAL/ASYNC);
+// Expected/Observed, when set, are the recorded expectation and what the
+// replay actually saw — the diff desync forensics renders.
 type DesyncError struct {
-	Stream string
-	Tick   uint64
-	Reason string
+	Stream   string
+	Tick     uint64
+	TID      int32
+	Offset   uint64
+	Reason   string
+	Expected string
+	Observed string
 }
 
 func (e *DesyncError) Error() string {
-	return fmt.Sprintf("replay hard desynchronised at tick %d (%s stream): %s", e.Tick, e.Stream, e.Reason)
+	s := fmt.Sprintf("replay hard desynchronised at tick %d (%s stream, thread %d, cursor offset %d): %s",
+		e.Tick, e.Stream, e.TID, e.Offset, e.Reason)
+	if e.Expected != "" || e.Observed != "" {
+		s += fmt.Sprintf(" [recorded: %s; observed: %s]", e.Expected, e.Observed)
+	}
+	return s
 }
 
 // ErrCorrupt is returned when a serialised demo cannot be parsed.

@@ -58,25 +58,29 @@ func (r *Recorder) NoteSchedule(tid int32, tick uint64) {
 	r.lastTick[tid] = tick
 }
 
-// AddSignal appends a SIGNAL stream entry.
-func (r *Recorder) AddSignal(ev SignalEvent) {
+// AddSignal appends a SIGNAL stream entry and returns its stream index
+// (the offset trace events carry).
+func (r *Recorder) AddSignal(ev SignalEvent) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.signals = append(r.signals, ev)
+	return len(r.signals) - 1
 }
 
-// AddAsync appends an ASYNC stream entry.
-func (r *Recorder) AddAsync(ev AsyncEvent) {
+// AddAsync appends an ASYNC stream entry and returns its stream index.
+func (r *Recorder) AddAsync(ev AsyncEvent) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.asyncs = append(r.asyncs, ev)
+	return len(r.asyncs) - 1
 }
 
-// AddSyscall appends a SYSCALL stream entry.
-func (r *Recorder) AddSyscall(rec SyscallRecord) {
+// AddSyscall appends a SYSCALL stream entry and returns its stream index.
+func (r *Recorder) AddSyscall(rec SyscallRecord) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.syscalls = append(r.syscalls, rec)
+	return len(r.syscalls) - 1
 }
 
 // MixOutput folds an observable output byte sequence into the output hash

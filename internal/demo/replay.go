@@ -116,20 +116,33 @@ func (r *Replayer) NextSyscall(tid int32, kind uint16, tick uint64) (SyscallReco
 	defer r.mu.Unlock()
 	if r.sysCursor >= len(r.d.Syscalls) {
 		return SyscallRecord{}, &DesyncError{
-			Stream: "SYSCALL", Tick: tick,
-			Reason: fmt.Sprintf("thread %d issued syscall %d but the stream is exhausted", tid, kind),
+			Stream: "SYSCALL", Tick: tick, TID: tid, Offset: uint64(r.sysCursor),
+			Reason:   fmt.Sprintf("thread %d issued syscall %d but the stream is exhausted", tid, kind),
+			Expected: "end of execution (no further syscalls)",
+			Observed: fmt.Sprintf("thread %d issued syscall %d", tid, kind),
 		}
 	}
 	rec := r.d.Syscalls[r.sysCursor]
 	if rec.TID != tid || rec.Kind != kind {
 		return SyscallRecord{}, &DesyncError{
-			Stream: "SYSCALL", Tick: tick,
+			Stream: "SYSCALL", Tick: tick, TID: tid, Offset: uint64(r.sysCursor),
 			Reason: fmt.Sprintf("thread %d issued syscall %d but the recording has thread %d syscall %d",
 				tid, kind, rec.TID, rec.Kind),
+			Expected: fmt.Sprintf("thread %d syscall %d", rec.TID, rec.Kind),
+			Observed: fmt.Sprintf("thread %d syscall %d", tid, kind),
 		}
 	}
 	r.sysCursor++
 	return rec, nil
+}
+
+// SyscallCursor returns how many SYSCALL records the replay has consumed
+// and how many the demo holds, the cursor position desync forensics
+// reports.
+func (r *Replayer) SyscallCursor() (consumed, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sysCursor, len(r.d.Syscalls)
 }
 
 // MixOutput folds replayed observable output into the replay-side hash for
@@ -150,17 +163,21 @@ func (r *Replayer) LeftoverError(finalTick uint64) error {
 	if len(r.signalAt) > 0 {
 		for k := range r.signalAt {
 			return &DesyncError{
-				Stream: "SIGNAL", Tick: finalTick,
-				Reason: fmt.Sprintf("recorded signal for thread %d at tick %d was never delivered", k.tid, k.tick),
+				Stream: "SIGNAL", Tick: finalTick, TID: k.tid, Offset: k.tick,
+				Reason:   fmt.Sprintf("recorded signal for thread %d at tick %d was never delivered", k.tid, k.tick),
+				Expected: fmt.Sprintf("signal delivery to thread %d after its tick %d", k.tid, k.tick),
+				Observed: "the replay finished without re-raising it",
 			}
 		}
 	}
 	if r.sysCursor < len(r.d.Syscalls) {
 		rec := r.d.Syscalls[r.sysCursor]
 		return &DesyncError{
-			Stream: "SYSCALL", Tick: finalTick,
+			Stream: "SYSCALL", Tick: finalTick, TID: rec.TID, Offset: uint64(r.sysCursor),
 			Reason: fmt.Sprintf("%d recorded syscalls were never re-issued (next: thread %d syscall %d)",
 				len(r.d.Syscalls)-r.sysCursor, rec.TID, rec.Kind),
+			Expected: fmt.Sprintf("thread %d to re-issue syscall %d", rec.TID, rec.Kind),
+			Observed: "the replay finished without it",
 		}
 	}
 	return nil

@@ -3,6 +3,8 @@ package env
 import (
 	"errors"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The External* surface is used by the "outside world" — load generators,
@@ -37,6 +39,9 @@ func (w *World) ExternalConnect(port int, timeout time.Duration) (*ExtConn, erro
 		if l, ok := w.ports[port]; ok && !l.closed {
 			b := &buffers{refCount: 2}
 			l.backlog = append(l.backlog, b)
+			if w.tr.Enabled() {
+				w.tr.Emit(obs.Event{TID: -1, Kind: obs.KindExternal, Obj: uint64(port)})
+			}
 			w.cond.Broadcast()
 			return &ExtConn{w: w, b: b}, nil
 		}
@@ -173,6 +178,9 @@ func (w *World) Kill(sig int32) {
 	w.mu.Lock()
 	sinks := make([]func(int32), len(w.sigSinks))
 	copy(sinks, w.sigSinks)
+	if w.tr.Enabled() {
+		w.tr.Emit(obs.Event{TID: -1, Kind: obs.KindExternal, Obj: uint64(uint32(sig)), Arg: int64(sig)})
+	}
 	w.mu.Unlock()
 	for _, s := range sinks {
 		s(sig)

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // World is one virtual environment instance: a process's fd table plus the
@@ -29,6 +31,16 @@ type World struct {
 	extRand  uint64
 	closed   bool
 	sigSinks []func(sig int32)
+	tr       *obs.Tracer // trace sink for external-world events; nil-safe
+}
+
+// SetTrace attaches an execution tracer; external stimuli (Kill,
+// ExternalConnect) emit diagnostic events on the external track (TID -1).
+// A nil tracer is valid and disables emission.
+func (w *World) SetTrace(tr *obs.Tracer) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tr = tr
 }
 
 type fdesc struct {

@@ -33,6 +33,7 @@ type directive struct {
 	malformed string         // non-empty: why the directive is invalid
 	spanStart token.Position // attached node extent (zero if dangling)
 	spanEnd   token.Position
+	fileScope bool // appeared before the package clause: spans the file
 	used      bool
 }
 
@@ -52,13 +53,56 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
 				d := parseOne(c.Text)
 				d.pos = fset.Position(c.Pos())
 				if d.malformed == "" {
-					attach(fset, d, c, group, candidates)
+					if group.End() < file.Package {
+						// File-scope form: a directive before the package
+						// clause spans the entire file (used for whole-file
+						// external infrastructure like internal/obs).
+						d.fileScope = true
+						d.spanStart = token.Position{Filename: d.pos.Filename, Line: 1, Column: 1}
+						d.spanEnd = fset.Position(file.End())
+						if d.verb == "external" {
+							// Staleness for a file-scope external span cannot
+							// rely on analyzer hits (the package may not be
+							// instrumented at all), so it is syntactic: the
+							// file must actually contain constructs the
+							// discipline polices.
+							d.used = fileNeedsDiscipline(file)
+						}
+					} else {
+						attach(fset, d, c, group, candidates)
+					}
 				}
 				ds = append(ds, d)
 			}
 		}
 	}
 	return ds
+}
+
+// fileNeedsDiscipline reports whether a file contains anything the
+// instrumentation discipline covers: raw concurrency imports, goroutine
+// launches, or channel operations. A file-scope //tsanrec:external on a
+// file with none of these suppresses nothing and is therefore stale.
+func fileNeedsDiscipline(file *ast.File) bool {
+	for _, imp := range file.Imports {
+		switch strings.Trim(imp.Path.Value, `"`) {
+		case "sync", "sync/atomic", "time", "math/rand":
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.SendStmt, *ast.SelectStmt, *ast.ChanType:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 func parseOne(text string) *directive {
@@ -220,8 +264,12 @@ func (pkg *Package) directiveFindings(fset *token.FileSet) []Finding {
 			if d.verb == "allow" {
 				name += "(" + d.check + ")"
 			}
+			msg := fmt.Sprintf("stale %s: it suppresses no finding; remove it or fix the span", name)
+			if d.fileScope {
+				msg = fmt.Sprintf("stale file-scope %s: the file uses no construct the discipline covers; remove it", name)
+			}
 			fs = append(fs, Finding{Pos: d.pos, Check: CheckDirective, Severity: SeverityWarning,
-				Message: fmt.Sprintf("stale %s: it suppresses no finding; remove it or fix the span", name)})
+				Message: msg})
 		}
 	}
 	return fs

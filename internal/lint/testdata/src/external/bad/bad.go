@@ -1,0 +1,17 @@
+// Package bad is an external-directive fixture: an instrumented package
+// mixing raw synchronisation (flagged) with a stale whole-file exemption
+// (stale.go).
+package bad
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+func racy(t *core.Thread) {
+	var mu sync.Mutex // want rawsync
+	mu.Lock()         // want rawsync
+	mu.Unlock()       // want rawsync
+	_ = t
+}

@@ -1,0 +1,11 @@
+// A file-scope exemption on a file with nothing to exempt: no concurrency
+// imports, no goroutines, no channels. The directive suppresses nothing,
+// so tsanvet must report it stale rather than let it rot.
+//
+// want directive
+//
+//tsanrec:external whole-file exemption on a file with nothing to exempt
+package bad
+
+// PureHelper is plain arithmetic; the discipline has no opinion about it.
+func PureHelper(x int) int { return x * x }

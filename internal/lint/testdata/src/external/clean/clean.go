@@ -1,0 +1,20 @@
+// Package clean is an external-directive fixture: instrumented code that
+// imports an external-annotated package (repro/internal/obs) and funnels
+// all of its nondeterminism through the runtime, next to a legitimately
+// exempted external-world file (ext.go).
+package clean
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Traced performs one visible operation and mirrors it into the
+// observability tracer — instrumented code using external-annotated
+// infrastructure without tripping any check.
+func Traced(rt *core.Runtime, t *core.Thread, tr *obs.Tracer) {
+	mu := rt.NewMutex("mu")
+	mu.Lock(t)
+	tr.Emit(obs.Event{TID: int32(t.ID()), Kind: obs.KindMutexLock})
+	mu.Unlock(t)
+}

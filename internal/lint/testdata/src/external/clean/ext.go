@@ -1,0 +1,25 @@
+// The external-world half of the fixture: a load generator that runs
+// outside the controlled scheduler, exempted wholesale by a file-scope
+// directive (the form internal/obs uses).
+//
+//tsanrec:external load generator runs outside the controlled scheduler
+package clean
+
+import (
+	"sync"
+	"time"
+)
+
+// Drive hammers the system from the outside; raw time, sync and goroutines
+// are exactly what the external world is allowed to do.
+func Drive(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,199 @@
+// Chrome trace_event export: the tracer's ring renders into the JSON
+// format chrome://tracing and Perfetto open natively, one track per thread
+// plus synthetic tracks for the scheduler and the external world.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Synthetic Chrome track ids for events that do not belong to a thread
+// under test. Real thread ids are small non-negative integers, so these
+// cannot collide.
+const (
+	chromeSchedulerTrack = 1_000_000
+	chromeExternalTrack  = 1_000_001
+)
+
+// chromeEvent is one entry of the trace_event "traceEvents" array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// chromeTID maps an event to its Chrome track.
+func chromeTID(ev Event) int64 {
+	switch {
+	case ev.Kind.Scheduler():
+		return chromeSchedulerTrack
+	case ev.TID < 0:
+		return chromeExternalTrack
+	default:
+		return int64(ev.TID)
+	}
+}
+
+// WriteChromeTrace renders events as a Chrome trace_event JSON object.
+// Each event becomes a complete ("X") slice whose timestamp is its
+// sequence number in microseconds — logical time, not wall time: the
+// point of the timeline is the interleaving, which wall clocks would
+// misrepresent under a cooperative scheduler. threadNames labels the
+// per-thread tracks (may be nil).
+func WriteChromeTrace(w io.Writer, events []Event, threadNames map[int32]string) error {
+	f := chromeFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	tracks := map[int64]string{}
+	for _, ev := range events {
+		ct := chromeTID(ev)
+		if _, ok := tracks[ct]; ok {
+			continue
+		}
+		switch ct {
+		case chromeSchedulerTrack:
+			tracks[ct] = "scheduler"
+		case chromeExternalTrack:
+			tracks[ct] = "external world"
+		default:
+			name := threadNames[ev.TID]
+			if name == "" {
+				name = fmt.Sprintf("thread %d", ev.TID)
+			}
+			tracks[ct] = fmt.Sprintf("%s (t%d)", name, ev.TID)
+		}
+	}
+	f.TraceEvents = append(f.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "tsanrec"},
+	})
+	ctids := make([]int64, 0, len(tracks))
+	for ct := range tracks {
+		ctids = append(ctids, ct)
+	}
+	sort.Slice(ctids, func(i, j int) bool { return ctids[i] < ctids[j] })
+	for _, ct := range ctids {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: ct,
+			Args: map[string]any{"name": tracks[ct]},
+		})
+	}
+
+	for _, ev := range events {
+		args := map[string]any{
+			"tick": ev.Tick,
+			"tid":  ev.TID,
+		}
+		if ev.Obj != 0 {
+			args["obj"] = ev.Obj
+		}
+		if ev.Arg != 0 {
+			args["arg"] = ev.Arg
+		}
+		if ev.Stream != StreamNone {
+			args["stream"] = ev.Stream.String()
+			args["offset"] = ev.Offset
+		}
+		cat := "op"
+		switch {
+		case ev.Kind.Scheduler():
+			cat = "sched"
+		case ev.Kind == KindDesync || ev.Kind == KindRace:
+			cat = "diagnostic"
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: ev.Kind.String(),
+			Ph:   "X",
+			TS:   float64(ev.Seq),
+			Dur:  1,
+			PID:  1,
+			TID:  chromeTID(ev),
+			Cat:  cat,
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// TraceStats summarises a parsed Chrome trace.
+type TraceStats struct {
+	Events  int            // "X" slices
+	Threads int            // distinct tracks carrying slices
+	ByName  map[string]int // slice count per event name
+	ByTrack map[int64]int  // slice count per Chrome track id
+	MinTS   float64
+	MaxTS   float64
+}
+
+// ValidateChromeTrace parses data as a Chrome trace_event JSON object and
+// checks the invariants the exporter guarantees: every slice carries a
+// name and a known phase, and per-track timestamps are monotonically
+// non-decreasing (Perfetto rejects out-of-order slices on one track).
+func ValidateChromeTrace(data []byte) (*TraceStats, error) {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("not a JSON trace_event object: %w", err)
+	}
+	st := &TraceStats{ByName: make(map[string]int), ByTrack: make(map[int64]int)}
+	lastTS := map[int64]float64{}
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			return nil, fmt.Errorf("event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "M":
+			continue // metadata carries no timestamp
+		case "X", "B", "E", "i", "I":
+		default:
+			return nil, fmt.Errorf("event %d (%s) has unsupported phase %q", i, ev.Name, ev.Ph)
+		}
+		if last, ok := lastTS[ev.TID]; ok && ev.TS < last {
+			return nil, fmt.Errorf("event %d (%s) on track %d goes back in time: ts %v after %v",
+				i, ev.Name, ev.TID, ev.TS, last)
+		}
+		lastTS[ev.TID] = ev.TS
+		st.Events++
+		st.ByName[ev.Name]++
+		st.ByTrack[ev.TID]++
+		if st.Events == 1 || ev.TS < st.MinTS {
+			st.MinTS = ev.TS
+		}
+		if ev.TS > st.MaxTS {
+			st.MaxTS = ev.TS
+		}
+	}
+	st.Threads = len(st.ByTrack)
+	if st.Events == 0 {
+		return nil, fmt.Errorf("trace contains no events")
+	}
+	return st, nil
+}
+
+// WriteChromeTraceFile exports events to a Chrome trace_event JSON file —
+// the one-call form the bench drivers' -trace flag uses.
+func WriteChromeTraceFile(path string, events []Event, threadNames map[int32]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, events, threadNames); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,80 @@
+// Desync forensics: when a replay hard- or soft-desynchronises, the
+// runtime assembles the evidence — the divergence point, the recorded
+// expectation against what actually happened, the demo cursor, and the
+// tail of the trace ring — into one self-explaining report.
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/demo"
+)
+
+// CursorInfo is the demo cursor position at the moment of divergence: how
+// far through each recorded stream the replay had progressed.
+type CursorInfo struct {
+	ReplayTick       uint64 // scheduler tick count when the replay stopped
+	FinalTick        uint64 // the recording's final tick
+	SyscallsConsumed int
+	SyscallsTotal    int
+	SignalsTotal     int
+	AsyncsTotal      int
+}
+
+func (c CursorInfo) String() string {
+	return fmt.Sprintf("tick %d of %d, syscalls %d/%d consumed, %d signals and %d asyncs recorded",
+		c.ReplayTick, c.FinalTick, c.SyscallsConsumed, c.SyscallsTotal, c.SignalsTotal, c.AsyncsTotal)
+}
+
+// Forensics is the desync report. Desync is non-nil for a hard
+// desynchronisation; Soft marks an output-hash divergence with all hard
+// constraints intact. Events is the tail of the trace ring at termination
+// (empty when tracing was off).
+type Forensics struct {
+	Desync *demo.DesyncError
+	Soft   bool
+	Cursor CursorInfo
+	Events []Event
+}
+
+// Render formats the report for humans.
+func (f *Forensics) Render() string {
+	if f == nil {
+		return ""
+	}
+	var sb strings.Builder
+	switch {
+	case f.Desync != nil:
+		e := f.Desync
+		fmt.Fprintf(&sb, "hard desynchronisation at tick %d, thread %d, %s stream (cursor offset %d)\n",
+			e.Tick, e.TID, e.Stream, e.Offset)
+		fmt.Fprintf(&sb, "  reason:   %s\n", e.Reason)
+		if e.Expected != "" || e.Observed != "" {
+			fmt.Fprintf(&sb, "  recorded: %s\n", orUnknown(e.Expected))
+			fmt.Fprintf(&sb, "  observed: %s\n", orUnknown(e.Observed))
+		}
+	case f.Soft:
+		sb.WriteString("soft desynchronisation: observable output diverged from the recording " +
+			"while every hard constraint held\n")
+	default:
+		sb.WriteString("no desynchronisation\n")
+	}
+	fmt.Fprintf(&sb, "demo cursor: %s\n", f.Cursor)
+	if len(f.Events) > 0 {
+		fmt.Fprintf(&sb, "last %d trace events:\n", len(f.Events))
+		for _, ev := range f.Events {
+			fmt.Fprintf(&sb, "  %s\n", ev)
+		}
+	} else {
+		sb.WriteString("trace ring empty (run with tracing enabled to capture the event tail)\n")
+	}
+	return sb.String()
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "(unknown)"
+	}
+	return s
+}

@@ -1,0 +1,193 @@
+// Metrics registry: named counters and histograms rendered through the
+// internal/stats table machinery.
+//
+// scheduler internals under the scheduler's own serialisation and use raw
+// sync/atomic so the disabled path stays nanosecond-cheap.
+//
+//tsanrec:external observability infrastructure: counters are bumped from
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Counter is a named monotonically increasing counter. A nil *Counter is
+// valid and discards all updates, so call sites resolved against a nil
+// registry need no guards.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Add increments the counter by n. Nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. Nil-safe.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Histogram is a named distribution of observations backed by a
+// stats.Sample, so quantiles and dispersion come from the same machinery
+// the benchmark tables use. A nil *Histogram discards observations.
+type Histogram struct {
+	name string
+	mu   sync.Mutex
+	s    stats.Sample
+}
+
+// Observe records one value. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.s.Add(v)
+	h.mu.Unlock()
+}
+
+// Sample returns an independent copy of the underlying sample. Nil-safe.
+func (h *Histogram) Sample() stats.Sample {
+	if h == nil {
+		return stats.Sample{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.s.Clone()
+}
+
+// Metrics is a registry of counters and histograms. Lookup takes the
+// registry lock; hot paths resolve their *Counter handles once and bump
+// them lock-free afterwards. A nil *Metrics is a valid disabled registry:
+// it hands out nil handles, which discard updates.
+type Metrics struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	hists map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		ctrs:  make(map[string]*Counter),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe:
+// a nil registry returns a nil (discarding) counter.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.ctrs[name]
+	if c == nil {
+		c = &Counter{name: name}
+		m.ctrs[name] = c
+	}
+	return c
+}
+
+// Add bumps the named counter by n (convenience for cold paths).
+func (m *Metrics) Add(name string, n uint64) { m.Counter(name).Add(n) }
+
+// Histogram returns the named histogram, creating it on first use.
+// Nil-safe like Counter.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{name: name}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Observe records v into the named histogram (convenience for cold paths).
+func (m *Metrics) Observe(name string, v float64) { m.Histogram(name).Observe(v) }
+
+// CounterValue returns the named counter's value, 0 if absent.
+func (m *Metrics) CounterValue(name string) uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ctrs[name].Value()
+}
+
+// Table renders every non-zero counter and histogram as a stats.Table,
+// sorted by name.
+func (m *Metrics) Table() *stats.Table {
+	t := &stats.Table{Header: []string{"metric", "count", "mean", "p50", "p95", "max"}}
+	if m == nil {
+		return t
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.ctrs)+len(m.hists))
+	for n := range m.ctrs {
+		names = append(names, n)
+	}
+	for n := range m.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if c, ok := m.ctrs[n]; ok {
+			if v := c.Value(); v > 0 {
+				t.AddRow(n, fmt.Sprintf("%d", v), "", "", "", "")
+			}
+			continue
+		}
+		h := m.hists[n]
+		h.mu.Lock()
+		if h.s.N() > 0 {
+			t.AddRow(n,
+				fmt.Sprintf("%d", h.s.N()),
+				fmt.Sprintf("%.2f", h.s.Mean()),
+				fmt.Sprintf("%.2f", h.s.Median()),
+				fmt.Sprintf("%.2f", h.s.Quantile(0.95)),
+				fmt.Sprintf("%.2f", h.s.Max()))
+		}
+		h.mu.Unlock()
+	}
+	return t
+}
+
+// Dump renders the registry as text, the `-metrics` output of the bench
+// drivers.
+func (m *Metrics) Dump() string {
+	t := m.Table()
+	if len(t.Rows) == 0 {
+		return "(no metrics recorded)\n"
+	}
+	return strings.TrimRight(t.String(), "\n") + "\n"
+}

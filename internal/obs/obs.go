@@ -1,0 +1,278 @@
+// Package obs is the runtime's observability layer: a fixed-size
+// ring-buffer tracer for visible operations, a registry of counters and
+// histograms, and desync forensics. It is always compiled in and off by
+// default; the only cost a disabled tracer adds to the visible-operation
+// hot path is a nil check and one atomic load.
+//
+// obs sits below the runtime — core, sched, env and tsan all emit into it —
+// so it must not import any of them. It speaks the vocabulary they share:
+// ticks, thread ids, demo streams.
+//
+// runtime state written from scheduler internals and read by host-side
+// exporters, never by threads under test; it uses raw sync/atomic
+// deliberately so the disabled hot path is a single atomic load.
+//
+//tsanrec:external observability infrastructure: the tracer is shared
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Kind classifies a trace event: one visible operation, scheduler
+// decision, record/replay stream event, or diagnostic.
+type Kind uint8
+
+// Event kinds. KindNone marks an empty ring slot and is never emitted.
+const (
+	KindNone Kind = iota
+	KindYield
+	KindSpawn
+	KindExit
+	KindJoin
+	KindMutexLock
+	KindMutexUnlock
+	KindCondWait
+	KindCondSignal
+	KindCondBroadcast
+	KindSigBind
+	KindSigHandler
+	KindAtomicLoad
+	KindAtomicStore
+	KindAtomicRMW
+	KindFence
+	KindSyscall
+	KindOp // a generic visible operation (e.g. PRNG seeding)
+
+	KindSchedule // a scheduling decision (Arg = chosen thread)
+	KindAsync    // an ASYNC stream event applied or recorded
+	KindSignal   // a SIGNAL stream event consumed (handler entry pending)
+	KindExternal // an external-world action (signal injection, connect)
+	KindDesync   // a hard desynchronisation was declared
+	KindRace     // the detector reported a data race
+
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	KindNone:          "none",
+	KindYield:         "yield",
+	KindSpawn:         "spawn",
+	KindExit:          "exit",
+	KindJoin:          "join",
+	KindMutexLock:     "mutex_lock",
+	KindMutexUnlock:   "mutex_unlock",
+	KindCondWait:      "cond_wait",
+	KindCondSignal:    "cond_signal",
+	KindCondBroadcast: "cond_broadcast",
+	KindSigBind:       "sig_bind",
+	KindSigHandler:    "sig_handler",
+	KindAtomicLoad:    "atomic_load",
+	KindAtomicStore:   "atomic_store",
+	KindAtomicRMW:     "atomic_rmw",
+	KindFence:         "fence",
+	KindSyscall:       "syscall",
+	KindOp:            "op",
+	KindSchedule:      "schedule",
+	KindAsync:         "async",
+	KindSignal:        "signal",
+	KindExternal:      "external",
+	KindDesync:        "desync",
+	KindRace:          "race",
+}
+
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Scheduler reports whether events of this kind are emitted by the
+// scheduler/runtime machinery rather than by a thread's own visible
+// operation. The Chrome exporter places them on a synthetic track.
+func (k Kind) Scheduler() bool {
+	return k == KindSchedule || k == KindAsync || k == KindDesync
+}
+
+// Stream names the demo constraint stream an event touches, mirroring the
+// demo file's QUEUE/SIGNAL/SYSCALL/ASYNC sections.
+type Stream uint8
+
+// Streams. StreamNone marks events with no record/replay involvement.
+const (
+	StreamNone Stream = iota
+	StreamQueue
+	StreamSignal
+	StreamSyscall
+	StreamAsync
+)
+
+var streamNames = [...]string{"", "QUEUE", "SIGNAL", "SYSCALL", "ASYNC"}
+
+func (s Stream) String() string {
+	if int(s) < len(streamNames) {
+		return streamNames[s]
+	}
+	return fmt.Sprintf("stream(%d)", uint8(s))
+}
+
+// StreamFromName maps a demo stream name ("QUEUE", ...) to its Stream.
+func StreamFromName(name string) Stream {
+	for i, n := range streamNames {
+		if i > 0 && n == name {
+			return Stream(i)
+		}
+	}
+	return StreamNone
+}
+
+// Event is one trace record. Seq is a globally monotonic sequence number
+// assigned at emission; Tick is the scheduler's logical clock; Obj
+// identifies the operation's object (mutex/cond/atomic id, syscall kind,
+// signal number); Arg carries an operation-specific value (return value,
+// chosen thread); Stream/Offset locate the event in the demo file when the
+// operation was recorded or replayed.
+type Event struct {
+	Seq    uint64
+	Tick   uint64
+	TID    int32
+	Kind   Kind
+	Obj    uint64
+	Arg    int64
+	Stream Stream
+	Offset uint64
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("#%-6d tick %-6d t%-3d %-14s obj %#x arg %d", e.Seq, e.Tick, e.TID, e.Kind, e.Obj, e.Arg)
+	if e.Stream != StreamNone {
+		s += fmt.Sprintf(" %s@%d", e.Stream, e.Offset)
+	}
+	return s
+}
+
+// Tracer is a fixed-size ring buffer of Events. Emission is guarded by a
+// single atomic enabled flag so a compiled-in but disabled tracer costs a
+// few nanoseconds per visible operation. All methods are nil-safe: a nil
+// *Tracer is a valid, permanently disabled tracer, so call sites need no
+// guards.
+//
+// Writers claim slots with an atomic counter; on wrap the newest event
+// overwrites the oldest (flight-recorder semantics). Snapshot is exact once
+// the execution has quiesced and best-effort while threads are still
+// running.
+type Tracer struct {
+	enabled atomic.Bool
+	seq     atomic.Uint64
+	mask    uint64
+	buf     []Event
+}
+
+// DefaultTracerSize is the ring capacity used when NewTracer is given a
+// non-positive size.
+const DefaultTracerSize = 1 << 14
+
+// NewTracer returns an enabled tracer whose ring holds at least size
+// events (rounded up to a power of two; size <= 0 means
+// DefaultTracerSize).
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultTracerSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	t := &Tracer{mask: uint64(n - 1), buf: make([]Event, n)}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether the tracer is capturing. Nil-safe; this is the
+// check on the visible-operation hot path.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Enable turns capturing on.
+func (t *Tracer) Enable() {
+	if t != nil {
+		t.enabled.Store(true)
+	}
+}
+
+// Disable turns capturing off. Already-captured events are retained.
+func (t *Tracer) Disable() {
+	if t != nil {
+		t.enabled.Store(false)
+	}
+}
+
+// Emit appends ev to the ring, assigning its sequence number. A nil or
+// disabled tracer discards the event.
+func (t *Tracer) Emit(ev Event) {
+	if !t.Enabled() {
+		return
+	}
+	seq := t.seq.Add(1)
+	ev.Seq = seq
+	t.buf[seq&t.mask] = ev
+}
+
+// Len returns the number of events captured so far (not capped by the ring
+// size; see Cap).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.seq.Load())
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Snapshot returns the retained events oldest-first.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	last := t.seq.Load()
+	n := last
+	if n > uint64(len(t.buf)) {
+		n = uint64(len(t.buf))
+	}
+	out := make([]Event, 0, n)
+	for s := last - n + 1; s <= last; s++ {
+		ev := t.buf[s&t.mask]
+		if ev.Kind == KindNone {
+			continue // slot claimed but not yet (or never) written
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Last returns the most recent n events, oldest-first.
+func (t *Tracer) Last(n int) []Event {
+	evs := t.Snapshot()
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Reset discards all captured events without changing the enabled state.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	for i := range t.buf {
+		t.buf[i] = Event{}
+	}
+	t.seq.Store(0)
+}

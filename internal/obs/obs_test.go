@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilInstrumentsAreInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Emit(Event{Kind: KindOp}) // must not panic
+	tr.Enable()
+	tr.Disable()
+	tr.Reset()
+	if tr.Len() != 0 || tr.Cap() != 0 || tr.Snapshot() != nil || tr.Last(4) != nil {
+		t.Error("nil tracer not empty")
+	}
+
+	var c *Counter
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter holds a value")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+
+	var m *Metrics
+	m.Add("x", 1)
+	m.Observe("y", 2)
+	if m.Counter("x") != nil || m.Histogram("y") != nil {
+		t.Error("nil metrics hands out instruments")
+	}
+	if m.CounterValue("x") != 0 {
+		t.Error("nil metrics counter value")
+	}
+}
+
+func TestDisabledTracerDropsEvents(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Disable()
+	tr.Emit(Event{Kind: KindOp})
+	if tr.Len() != 0 {
+		t.Errorf("disabled tracer captured %d events", tr.Len())
+	}
+	tr.Enable()
+	tr.Emit(Event{Kind: KindOp})
+	if tr.Len() != 1 {
+		t.Errorf("re-enabled tracer has %d events, want 1", tr.Len())
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := NewTracer(8) // power of two already
+	for i := 0; i < 20; i++ {
+		tr.Emit(Event{Kind: KindOp, Tick: uint64(i + 1)})
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot has %d events, want 8", len(snap))
+	}
+	for i, ev := range snap {
+		if want := uint64(13 + i); ev.Tick != want {
+			t.Errorf("snapshot[%d].Tick = %d, want %d (oldest-first tail)", i, ev.Tick, want)
+		}
+		if i > 0 && snap[i].Seq <= snap[i-1].Seq {
+			t.Error("snapshot not seq-ordered")
+		}
+	}
+	last := tr.Last(3)
+	if len(last) != 3 || last[2].Tick != 20 {
+		t.Errorf("Last(3) = %v", last)
+	}
+	// Asking for more than captured returns everything.
+	if got := tr.Last(100); len(got) != 8 {
+		t.Errorf("Last(100) returned %d events", len(got))
+	}
+}
+
+func TestTracerSizeRoundsUp(t *testing.T) {
+	tr := NewTracer(100)
+	if tr.Cap() != 128 {
+		t.Errorf("Cap = %d, want 128", tr.Cap())
+	}
+	tr = NewTracer(0)
+	if tr.Cap() != DefaultTracerSize {
+		t.Errorf("Cap = %d, want default %d", tr.Cap(), DefaultTracerSize)
+	}
+}
+
+func TestMetricsTableAndDump(t *testing.T) {
+	m := NewMetrics()
+	if !strings.Contains(m.Dump(), "no metrics recorded") {
+		t.Errorf("empty dump: %q", m.Dump())
+	}
+	m.Add("ops.mutex_lock", 4)
+	m.Add("zero.counter", 0)
+	for i := 1; i <= 4; i++ {
+		m.Observe("run.ms.record", float64(i))
+	}
+	dump := m.Dump()
+	if !strings.Contains(dump, "ops.mutex_lock") || !strings.Contains(dump, "run.ms.record") {
+		t.Errorf("dump missing metrics:\n%s", dump)
+	}
+	if strings.Contains(dump, "zero.counter") {
+		t.Errorf("dump shows zero counter:\n%s", dump)
+	}
+	// Same name always returns the same instrument.
+	if m.Counter("ops.mutex_lock") != m.Counter("ops.mutex_lock") {
+		t.Error("Counter not idempotent")
+	}
+	if m.CounterValue("ops.mutex_lock") != 4 {
+		t.Errorf("CounterValue = %d", m.CounterValue("ops.mutex_lock"))
+	}
+	s := m.Histogram("run.ms.record").Sample()
+	if s.N() != 4 || s.Mean() != 2.5 {
+		t.Errorf("histogram sample n=%d mean=%f", s.N(), s.Mean())
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer(64)
+	// Interleaved per-thread activity plus scheduler and external tracks.
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Tick: uint64(i + 1), TID: int32(i % 2), Kind: KindOp})
+		tr.Emit(Event{Tick: uint64(i + 1), TID: int32(i % 2), Kind: KindSchedule})
+	}
+	tr.Emit(Event{TID: -1, Kind: KindExternal, Obj: 80})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Snapshot(), map[int32]string{0: "main", 1: "worker"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	if st.Events != 21 {
+		t.Errorf("validated %d events, want 21", st.Events)
+	}
+	// Tracks: threads 0 and 1, scheduler, external.
+	if st.Threads != 4 {
+		t.Errorf("tracks = %d, want 4", st.Threads)
+	}
+	if st.ByName["op"] != 10 || st.ByName["schedule"] != 10 || st.ByName["external"] != 1 {
+		t.Errorf("ByName = %v", st.ByName)
+	}
+	if st.ByTrack[chromeSchedulerTrack] != 10 || st.ByTrack[chromeExternalTrack] != 1 {
+		t.Errorf("ByTrack = %v", st.ByTrack)
+	}
+}
+
+func TestValidateRejectsNonMonotonicTrack(t *testing.T) {
+	bad := `{"traceEvents":[
+		{"name":"a","ph":"X","ts":5,"pid":1,"tid":3},
+		{"name":"b","ph":"X","ts":4,"pid":1,"tid":3}]}`
+	if _, err := ValidateChromeTrace([]byte(bad)); err == nil {
+		t.Fatal("non-monotonic per-track timestamps accepted")
+	}
+	// Interleaved tracks may each advance independently.
+	ok := `{"traceEvents":[
+		{"name":"a","ph":"X","ts":5,"pid":1,"tid":3},
+		{"name":"b","ph":"X","ts":1,"pid":1,"tid":4},
+		{"name":"c","ph":"X","ts":6,"pid":1,"tid":3}]}`
+	if _, err := ValidateChromeTrace([]byte(ok)); err != nil {
+		t.Fatalf("independent tracks rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"{not json",
+		`{"traceEvents":[]}`,
+		`{"traceEvents":[{"ph":"X","ts":1}]}`,
+		`{"traceEvents":[{"name":"a","ph":"?","ts":1}]}`,
+	} {
+		if _, err := ValidateChromeTrace([]byte(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestStreamNames(t *testing.T) {
+	for _, s := range []Stream{StreamQueue, StreamSignal, StreamSyscall, StreamAsync} {
+		if StreamFromName(s.String()) != s {
+			t.Errorf("StreamFromName(%q) != %v", s.String(), s)
+		}
+	}
+	if StreamFromName("NOPE") != StreamNone {
+		t.Error("unknown stream name not StreamNone")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Seq: 9, Tick: 4, TID: 1, Kind: KindSyscall, Obj: 0x2a, Arg: 7,
+		Stream: StreamSyscall, Offset: 3}
+	s := ev.String()
+	for _, want := range []string{"#9", "tick 4", "t1", "syscall", "0x2a", "SYSCALL@3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Session: the one-stop shape behind every bench driver's -trace and
+// -metrics flags, so drivers share a single attach/report pattern.
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Session bundles the tracer and metrics registry a driver creates from
+// its command-line flags. A nil Session is valid and inert, as are its
+// nil Tracer/Metrics fields — they can be passed straight into
+// core.Options without guards.
+type Session struct {
+	tracePath string
+	Tracer    *Tracer
+	Metrics   *Metrics
+	names     map[int32]string
+}
+
+// NewSession allocates the requested instruments: tracePath == "" disables
+// tracing, metrics == false disables the registry. A Session with neither
+// is still usable; Finish then does nothing.
+func NewSession(tracePath string, metrics bool) *Session {
+	s := &Session{tracePath: tracePath}
+	if tracePath != "" {
+		s.Tracer = NewTracer(DefaultTracerSize)
+	}
+	if metrics {
+		s.Metrics = NewMetrics()
+	}
+	return s
+}
+
+// SetThreadNames supplies track labels for the Chrome export — typically
+// Runtime.ThreadNames() of the run worth labelling. Safe on nil.
+func (s *Session) SetThreadNames(names map[int32]string) {
+	if s != nil {
+		s.names = names
+	}
+}
+
+// Finish writes the trace file (when tracing) and renders the metrics
+// table (when metering) to out. The trace holds the ring's tail: the most
+// recent DefaultTracerSize visible operations across every run the
+// session's tracer was attached to.
+func (s *Session) Finish(out io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	if s.Tracer != nil {
+		events := s.Tracer.Snapshot()
+		if err := WriteChromeTraceFile(s.tracePath, events, s.names); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d events written to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+			len(events), s.tracePath)
+	}
+	if s.Metrics != nil {
+		fmt.Fprintf(out, "metrics:\n%s", s.Metrics.Dump())
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/obs"
+)
+
+// opEv is harness.op with an event-carrying Tick: the emitted trace event
+// must land in the ring in exactly the order the ticks were granted.
+func (h *harness) opEv(tid TID, kind obs.Kind, obj uint64) {
+	h.s.Wait(tid)
+	h.mu.Lock()
+	h.order = append(h.order, tid)
+	h.mu.Unlock()
+	h.s.TickEvent(tid, obs.Event{Kind: kind, Obj: obj})
+}
+
+func runTracedSchedule(t *testing.T, tr *obs.Tracer, mx *obs.Metrics) []TID {
+	h := newHarness(t, Options{Kind: demo.StrategyRandom, Seed1: 42, Seed2: 7,
+		Trace: tr, Metrics: mx})
+	var t1, t2 TID
+	h.op(0, func() { t1 = h.s.ThreadNew(0, "a") })
+	h.op(0, func() { t2 = h.s.ThreadNew(0, "b") })
+	for _, tid := range []TID{t1, t2} {
+		tid := tid
+		h.thread(tid, func() {
+			for i := 0; i < 6; i++ {
+				h.opEv(tid, obs.KindOp, uint64(i))
+			}
+		})
+	}
+	for i := 0; i < 6; i++ {
+		h.opEv(0, obs.KindOp, uint64(i))
+	}
+	h.op(0, func() { h.s.ThreadDelete(0) })
+	h.wg.Wait()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]TID(nil), h.order...)
+}
+
+// TestTraceOrderMatchesTickOrder is the ordering contract of TickEvent:
+// op events are emitted under the scheduler mutex inside Tick, so their
+// ring order equals tick order equals the order critical sections ran.
+func TestTraceOrderMatchesTickOrder(t *testing.T) {
+	tr := obs.NewTracer(1 << 10)
+	mx := obs.NewMetrics()
+	order := runTracedSchedule(t, tr, mx)
+
+	var ops []obs.Event
+	schedules := 0
+	for _, ev := range tr.Snapshot() {
+		switch ev.Kind {
+		case obs.KindOp:
+			ops = append(ops, ev)
+		case obs.KindSchedule:
+			schedules++
+		}
+	}
+	// order includes the two ThreadNew ops and the final deletes done via
+	// plain op() (KindNone, not traced); only the 18 opEv ops carry events.
+	if len(ops) != 18 {
+		t.Fatalf("traced %d op events, want 18", len(ops))
+	}
+	evIdx := 0
+	for _, tid := range order {
+		if evIdx < len(ops) && ops[evIdx].TID == int32(tid) {
+			evIdx++
+		}
+	}
+	if evIdx != len(ops) {
+		t.Errorf("op events are not a tick-ordered subsequence of the completion order (matched %d/%d)", evIdx, len(ops))
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i].Tick <= ops[i-1].Tick {
+			t.Fatalf("event %d tick %d not after previous tick %d: trace order != tick order",
+				i, ops[i].Tick, ops[i-1].Tick)
+		}
+		if ops[i].Seq <= ops[i-1].Seq {
+			t.Fatal("ring sequence not monotonic")
+		}
+	}
+	if schedules == 0 {
+		t.Error("no scheduler decision events traced")
+	}
+	if got := mx.CounterValue("sched.decisions.random"); got != uint64(schedules) {
+		t.Errorf("sched.decisions.random = %d, traced %d decision events", got, schedules)
+	}
+}
+
+// TestTracedScheduleIsDeterministic re-runs the same seed and demands the
+// identical op-event sequence — the property that makes traces comparable
+// across record and replay.
+func TestTracedScheduleIsDeterministic(t *testing.T) {
+	extract := func(tr *obs.Tracer) []obs.Event {
+		var ops []obs.Event
+		for _, ev := range tr.Snapshot() {
+			if ev.Kind == obs.KindOp {
+				ops = append(ops, ev)
+			}
+		}
+		return ops
+	}
+	tr1 := obs.NewTracer(1 << 10)
+	runTracedSchedule(t, tr1, nil)
+	tr2 := obs.NewTracer(1 << 10)
+	runTracedSchedule(t, tr2, nil)
+	a, b := extract(tr1), extract(tr2)
+	if len(a) != len(b) {
+		t.Fatalf("runs traced %d vs %d op events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Tick != b[i].Tick || a[i].TID != b[i].TID || a[i].Obj != b[i].Obj {
+			t.Fatalf("event %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSchedulerTraceExportsValidChrome round-trips a real scheduler trace
+// through the Chrome exporter: valid JSON, per-track monotonic timestamps.
+func TestSchedulerTraceExportsValidChrome(t *testing.T) {
+	tr := obs.NewTracer(1 << 10)
+	runTracedSchedule(t, tr, nil)
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, tr.Snapshot(), map[int32]string{0: "main", 1: "a", 2: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("scheduler trace fails validation: %v", err)
+	}
+	if st.Events == 0 || st.Threads < 3 {
+		t.Errorf("unexpectedly thin trace: %d events on %d tracks", st.Events, st.Threads)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/demo"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/vclock"
 )
@@ -87,6 +88,13 @@ type Options struct {
 	// PCTLength is PCT's a-priori estimate of execution length in visible
 	// operations, used to place change points. Defaults to 4096.
 	PCTLength uint64
+	// Trace, if non-nil, receives scheduler trace events (decisions, async
+	// deliveries, desyncs) and the per-operation events passed to
+	// TickEvent. A nil or disabled tracer costs one atomic load per Tick.
+	Trace *obs.Tracer
+	// Metrics, if non-nil, receives scheduler counters (decisions by
+	// strategy).
+	Metrics *obs.Metrics
 }
 
 type thread struct {
@@ -139,6 +147,11 @@ type Scheduler struct {
 	stopErr  error
 	finished bool
 
+	// tr receives trace events; decisions counts strategy decisions. Both
+	// are nil-safe, so the untraced path pays only the checks inside them.
+	tr        *obs.Tracer
+	decisions *obs.Counter
+
 	// recent is a flight recorder of the last scheduling decisions,
 	// surfaced in desynchronisation diagnostics.
 	recent [64]recentTick
@@ -165,6 +178,10 @@ func New(opts Options) (*Scheduler, error) {
 		rng:          prng.New(opts.Seed1, opts.Seed2),
 		mutexWaiters: make(map[uint64][]TID),
 		condWaiters:  make(map[uint64][]TID),
+		tr:           opts.Trace,
+	}
+	if opts.Metrics != nil {
+		s.decisions = opts.Metrics.Counter("sched.decisions." + opts.Kind.String())
 	}
 	s.cond = sync.NewCond(&s.mu)
 	switch opts.Kind {
@@ -244,6 +261,11 @@ func (s *Scheduler) failLocked(err error) {
 	}
 	s.stopped = true
 	s.stopErr = err
+	var de *demo.DesyncError
+	if errors.As(err, &de) && s.tr.Enabled() {
+		s.tr.Emit(obs.Event{Tick: de.Tick, TID: de.TID, Kind: obs.KindDesync,
+			Stream: obs.StreamFromName(de.Stream), Offset: de.Offset})
+	}
 	s.cond.Broadcast()
 }
 
@@ -284,8 +306,18 @@ func (s *Scheduler) Wait(tid TID) {
 
 // Tick completes tid's visible operation: it advances the logical clock,
 // emits record streams, delivers floated replay events, and chooses the
-// next thread to activate.
-func (s *Scheduler) Tick(tid TID) {
+// next thread to activate. It returns the completed operation's tick
+// value.
+func (s *Scheduler) Tick(tid TID) uint64 {
+	return s.TickEvent(tid, obs.Event{})
+}
+
+// TickEvent is Tick with an operation trace event attached: when tracing
+// is on, ev (its Kind, Obj, Arg, Stream and Offset filled in by the
+// caller) is stamped with the tick and thread id and emitted inside the
+// scheduler's critical region, so the trace's event order is exactly the
+// tick order. An ev with KindNone is discarded.
+func (s *Scheduler) TickEvent(tid TID, ev obs.Event) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	th := s.threads[tid]
@@ -302,6 +334,17 @@ func (s *Scheduler) Tick(tid TID) {
 	if s.opts.Recorder != nil && s.opts.Kind == demo.StrategyQueue {
 		s.opts.Recorder.NoteSchedule(int32(tid), t)
 	}
+	if ev.Kind != obs.KindNone && s.tr.Enabled() {
+		ev.Tick = t
+		ev.TID = int32(tid)
+		if ev.Stream == obs.StreamNone && s.opts.Kind == demo.StrategyQueue &&
+			(s.opts.Recorder != nil || s.opts.Replayer != nil) {
+			// The operation itself is a QUEUE stream entry: tick t's slot.
+			ev.Stream = obs.StreamQueue
+			ev.Offset = t
+		}
+		s.tr.Emit(ev)
+	}
 	if s.opts.MaxTicks > 0 && t > s.opts.MaxTicks {
 		s.failLocked(&StalledError{t})
 		s.abortLocked()
@@ -313,6 +356,10 @@ func (s *Scheduler) Tick(tid TID) {
 	if rep := s.opts.Replayer; rep != nil {
 		for _, sig := range rep.SignalsAt(int32(tid), t) {
 			th.pendingSigs = append(th.pendingSigs, sig)
+			if s.tr.Enabled() {
+				s.tr.Emit(obs.Event{Tick: t, TID: int32(tid), Kind: obs.KindSignal,
+					Obj: uint64(uint32(sig)), Stream: obs.StreamSignal})
+			}
 		}
 	}
 
@@ -330,8 +377,8 @@ func (s *Scheduler) Tick(tid TID) {
 	rep := s.opts.Replayer
 	queueReplay := rep != nil && s.opts.Kind == demo.StrategyQueue
 	if queueReplay {
-		for _, ev := range rep.AsyncsAt(t) {
-			s.applyAsyncLocked(ev)
+		for _, aev := range rep.AsyncsAt(t) {
+			s.applyAsyncLocked(aev)
 		}
 	}
 
@@ -340,14 +387,19 @@ func (s *Scheduler) Tick(tid TID) {
 	s.advanceLocked()
 
 	if rep != nil && !queueReplay {
-		for _, ev := range rep.AsyncsAt(t) {
-			s.applyAsyncLocked(ev)
+		for _, aev := range rep.AsyncsAt(t) {
+			s.applyAsyncLocked(aev)
 		}
 	}
 	s.cond.Broadcast()
+	return t
 }
 
 func (s *Scheduler) applyAsyncLocked(ev demo.AsyncEvent) {
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{Tick: ev.Tick, TID: ev.TID, Kind: obs.KindAsync,
+			Obj: uint64(ev.Kind), Stream: obs.StreamAsync})
+	}
 	switch ev.Kind {
 	case demo.AsyncSignalWakeup, demo.AsyncTimerWakeup:
 		th := s.threads[ev.TID]
@@ -408,19 +460,24 @@ func (s *Scheduler) advanceLocked() {
 			th := s.threads[want]
 			if th.done {
 				s.failLocked(&demo.DesyncError{
-					Stream: "QUEUE", Tick: s.tick + 1,
-					Reason: fmt.Sprintf("scheduled thread %d has already exited", want),
+					Stream: "QUEUE", Tick: s.tick + 1, TID: want, Offset: s.tick + 1,
+					Reason:   fmt.Sprintf("scheduled thread %d has already exited", want),
+					Expected: fmt.Sprintf("thread %d runnable at tick %d", want, s.tick+1),
+					Observed: fmt.Sprintf("thread %d has already exited", want),
 				})
 				return
 			}
 			if !th.enabled {
 				s.failLocked(&demo.DesyncError{
-					Stream: "QUEUE", Tick: s.tick + 1,
-					Reason: fmt.Sprintf("scheduled thread %d is blocked", want),
+					Stream: "QUEUE", Tick: s.tick + 1, TID: want, Offset: s.tick + 1,
+					Reason:   fmt.Sprintf("scheduled thread %d is blocked", want),
+					Expected: fmt.Sprintf("thread %d runnable at tick %d", want, s.tick+1),
+					Observed: fmt.Sprintf("thread %d is blocked (%s)", want, s.blockedWhyLocked(th)),
 				})
 				return
 			}
 			s.current = TID(want)
+			s.noteDecisionLocked()
 			return
 		}
 		// Past the end of the recording: fall through to live strategy.
@@ -435,6 +492,31 @@ func (s *Scheduler) advanceLocked() {
 		return
 	}
 	s.current = next
+	s.noteDecisionLocked()
+}
+
+// noteDecisionLocked counts and traces the scheduling decision that just
+// set s.current for tick s.tick+1.
+func (s *Scheduler) noteDecisionLocked() {
+	s.decisions.Add(1)
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{Tick: s.tick + 1, TID: int32(s.current), Kind: obs.KindSchedule,
+			Obj: uint64(s.opts.Kind), Arg: int64(s.current)})
+	}
+}
+
+// blockedWhyLocked renders why th cannot run, for desync diagnostics.
+func (s *Scheduler) blockedWhyLocked(th *thread) string {
+	switch {
+	case th.waitMutex != 0:
+		return fmt.Sprintf("waiting on mutex %#x", th.waitMutex)
+	case th.waitCond != 0:
+		return fmt.Sprintf("waiting on cond %#x", th.waitCond)
+	case th.waitJoin != NoTID:
+		return fmt.Sprintf("joining thread %d", th.waitJoin)
+	default:
+		return "disabled"
+	}
 }
 
 // Idle reports whether the execution can make no progress on its own:
@@ -476,16 +558,7 @@ func (s *Scheduler) blockedNamesLocked() []string {
 		if th.done {
 			continue
 		}
-		why := "blocked"
-		switch {
-		case th.waitMutex != 0:
-			why = fmt.Sprintf("mutex %#x", th.waitMutex)
-		case th.waitCond != 0:
-			why = fmt.Sprintf("cond %#x", th.waitCond)
-		case th.waitJoin != NoTID:
-			why = fmt.Sprintf("join %d", th.waitJoin)
-		}
-		names = append(names, fmt.Sprintf("%s(t%d): %s", th.name, th.id, why))
+		names = append(names, fmt.Sprintf("%s(t%d): %s", th.name, th.id, s.blockedWhyLocked(th)))
 	}
 	return names
 }
@@ -508,10 +581,20 @@ func (s *Scheduler) ForceReschedule() {
 		return
 	}
 	old := s.current
+	idx := -1
 	if s.opts.Recorder != nil {
-		s.opts.Recorder.AddAsync(demo.AsyncEvent{
+		idx = s.opts.Recorder.AddAsync(demo.AsyncEvent{
 			Kind: demo.AsyncReschedule, Tick: s.tick, TID: int32(old),
 		})
+	}
+	if s.tr.Enabled() {
+		ev := obs.Event{Tick: s.tick, TID: int32(old), Kind: obs.KindAsync,
+			Obj: uint64(demo.AsyncReschedule)}
+		if idx >= 0 {
+			ev.Stream = obs.StreamAsync
+			ev.Offset = uint64(idx)
+		}
+		s.tr.Emit(ev)
 	}
 	s.current = NoTID
 	s.advanceLocked()
@@ -548,4 +631,16 @@ func (s *Scheduler) ThreadCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.threads)
+}
+
+// ThreadNames returns the debug name of every thread created so far,
+// keyed by tid — the labels the Chrome trace exporter attaches to tracks.
+func (s *Scheduler) ThreadNames() map[int32]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make(map[int32]string, len(s.threads))
+	for _, th := range s.threads {
+		names[int32(th.id)] = th.name
+	}
+	return names
 }

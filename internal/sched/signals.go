@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/demo"
+	"repro/internal/obs"
 )
 
 // Asynchronous signal handling (§3.2 "Signals", §4.3, §4.5).
@@ -51,10 +52,20 @@ func (s *Scheduler) DeliverSignal(tid TID, sig int32) bool {
 			return !th.done
 		}
 		s.wakeLocked(th)
+		idx := -1
 		if s.opts.Recorder != nil {
-			s.opts.Recorder.AddAsync(demo.AsyncEvent{
+			idx = s.opts.Recorder.AddAsync(demo.AsyncEvent{
 				Kind: demo.AsyncSignalWakeup, Tick: s.tick, TID: int32(tid),
 			})
+		}
+		if s.tr.Enabled() {
+			ev := obs.Event{Tick: s.tick, TID: int32(tid), Kind: obs.KindAsync,
+				Obj: uint64(demo.AsyncSignalWakeup)}
+			if idx >= 0 {
+				ev.Stream = obs.StreamAsync
+				ev.Offset = uint64(idx)
+			}
+			s.tr.Emit(ev)
 		}
 		if s.current == NoTID {
 			// Nothing is scheduled (possibly a pending deadlock): the
@@ -84,9 +95,13 @@ func (s *Scheduler) ConsumeSignal(tid TID) (int32, bool) {
 	sig := th.pendingSigs[0]
 	th.pendingSigs = th.pendingSigs[1:]
 	if s.opts.Recorder != nil {
-		s.opts.Recorder.AddSignal(demo.SignalEvent{
+		idx := s.opts.Recorder.AddSignal(demo.SignalEvent{
 			TID: int32(tid), Tick: th.lastTick, Sig: sig,
 		})
+		if s.tr.Enabled() {
+			s.tr.Emit(obs.Event{Tick: th.lastTick, TID: int32(tid), Kind: obs.KindSignal,
+				Obj: uint64(uint32(sig)), Stream: obs.StreamSignal, Offset: uint64(idx)})
+		}
 	}
 	return sig, true
 }

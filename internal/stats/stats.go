@@ -26,6 +26,9 @@ func (s *Sample) AddDuration(d time.Duration) { s.Add(float64(d) / float64(time.
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
+// Clone returns an independent copy of the sample.
+func (s *Sample) Clone() Sample { return Sample{xs: append([]float64(nil), s.xs...)} }
+
 // Mean returns the arithmetic mean (0 for an empty sample).
 func (s *Sample) Mean() float64 {
 	if len(s.xs) == 0 {

@@ -16,6 +16,7 @@ package tsan
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/vclock"
 )
@@ -95,7 +96,12 @@ type Detector struct {
 	reports  []Report
 	seen     map[reportKey]bool
 	disabled bool
+	tr       *obs.Tracer // trace sink for race reports; nil-safe
 }
+
+// SetTrace attaches an execution tracer; each distinct race report emits
+// one diagnostic trace event. A nil tracer is valid and disables emission.
+func (d *Detector) SetTrace(tr *obs.Tracer) { d.tr = tr }
 
 // New constructs a Detector sharing the scheduler's PRNG.
 func New(rng *prng.Source, opts Options) *Detector {

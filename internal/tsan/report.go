@@ -3,6 +3,7 @@ package tsan
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -45,6 +46,10 @@ func (d *Detector) report(loc string, a, b Access) {
 	d.seen[key] = true
 	if len(d.reports) < d.opts.MaxReports {
 		d.reports = append(d.reports, Report{Location: loc, First: a, Second: b})
+		if d.tr.Enabled() {
+			d.tr.Emit(obs.Event{TID: int32(b.TID), Kind: obs.KindRace,
+				Obj: uint64(a.Epoch), Arg: int64(a.TID)})
+		}
 	}
 }
 
