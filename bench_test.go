@@ -13,6 +13,7 @@ package repro
 // cmd/gamebench print the same data as paper-style tables with more runs.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -357,6 +358,51 @@ func BenchmarkSchedulerOverhead(b *testing.B) {
 				x := main.NewAtomic64("x", 0)
 				for i := 0; i < b.N; i++ {
 					x.Store(main, uint64(i), core.Relaxed)
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkVisibleOpThreads measures how the cost of one visible operation
+// scales with the number of live-but-blocked threads. n-1 threads park on a
+// mutex the main thread holds, so every main-thread Tick happens while n-1
+// goroutines sit in Wait: with a global-broadcast wakeup each Tick pays
+// O(n) futile wakeups (and the queue strategy's decision scan pays O(n)
+// again); with directed parking and the split runnable queue the per-op
+// cost must stay flat from 2 to 128 threads. The op is a bare Yield so the
+// number is the scheduling protocol itself, not the race-detector work a
+// data operation adds on top.
+func BenchmarkVisibleOpThreads(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 32, 128} {
+		b.Run(fmt.Sprintf("threads-%d", n), func(b *testing.B) {
+			rt, err := core.New(core.Options{
+				Strategy: demo.StrategyQueue, Seed1: 1, Seed2: 2,
+				MaxTicks: uint64(b.N) + uint64(n)*16 + 4096,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rt.Run(func(main *core.Thread) {
+				gate := rt.NewMutex("gate")
+				gate.Lock(main)
+				hs := make([]*core.Handle, 0, n-1)
+				for i := 0; i < n-1; i++ {
+					hs = append(hs, main.Spawn("parked", func(t *core.Thread) {
+						gate.Lock(t)
+						gate.Unlock(t)
+					}))
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					main.Yield()
+				}
+				b.StopTimer()
+				gate.Unlock(main)
+				for _, h := range hs {
+					main.Join(h)
 				}
 			}); err != nil {
 				b.Fatal(err)

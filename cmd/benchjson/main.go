@@ -1,0 +1,75 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark-trajectory point on stdout. CI runs it after the scheduler
+// benchmarks and archives the result as BENCH_<date>.json, so per-op cost
+// regressions show up as a series rather than a single lost log line.
+//
+// Usage:
+//
+//	go test -bench BenchmarkVisibleOpThreads -run '^$' . | benchjson -date 2026-08-06 -commit abc123
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name    string  `json:"name"`
+	Iters   int64   `json:"iterations"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Point is one trajectory entry: every benchmark of one run.
+type Point struct {
+	Date    string   `json:"date,omitempty"`
+	Commit  string   `json:"commit,omitempty"`
+	Results []Result `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+func run(in io.Reader, out io.Writer, date, commit string) error {
+	p := Point{Date: date, Commit: commit}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("benchjson: bad iteration count in %q: %v", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return fmt.Errorf("benchjson: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		p.Results = append(p.Results, Result{Name: m[1], Iters: iters, NsPerOp: ns})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(p.Results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark result lines on stdin")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+func main() {
+	date := flag.String("date", "", "ISO date stamp for the trajectory point")
+	commit := flag.String("commit", "", "commit hash the benchmarks ran at")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, *date, *commit); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

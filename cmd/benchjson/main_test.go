@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkVisibleOpThreads/threads-2         	16940679	        81.36 ns/op
+BenchmarkVisibleOpThreads/threads-128       	17494032	        67.65 ns/op
+PASS
+ok  	repro	8.532s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out, "2026-08-06", "abc123"); err != nil {
+		t.Fatal(err)
+	}
+	var p Point
+	if err := json.Unmarshal(out.Bytes(), &p); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if p.Date != "2026-08-06" || p.Commit != "abc123" {
+		t.Errorf("stamp = %q/%q", p.Date, p.Commit)
+	}
+	if len(p.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(p.Results), p.Results)
+	}
+	want := Result{Name: "BenchmarkVisibleOpThreads/threads-2", Iters: 16940679, NsPerOp: 81.36}
+	if p.Results[0] != want {
+		t.Errorf("first result = %+v, want %+v", p.Results[0], want)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok\n"), &out, "", ""); err == nil {
+		t.Error("no error for input without benchmark lines")
+	}
+}

@@ -74,6 +74,33 @@ func TestRunInvalidDemo(t *testing.T) {
 	}
 }
 
+// TestRunUnreplayableDemos feeds demoinspect the decodable-but-corrupt
+// shapes from the fuzz corpus — a zero-thread queue demo claiming ticks
+// happened, and a FinalTick of ^uint64(0) (whose +1 used to wrap the
+// replayer's schedule allocation and panic). Each must produce a diagnostic
+// exit 1, never a panic.
+func TestRunUnreplayableDemos(t *testing.T) {
+	cases := []struct {
+		name string
+		d    *demo.Demo
+	}{
+		{"zero-thread-nonzero-final", &demo.Demo{Strategy: demo.StrategyQueue, Seed1: 1, Seed2: 2, FinalTick: 5}},
+		{"maxuint64-final-tick", &demo.Demo{Strategy: demo.StrategyQueue, FinalTick: ^uint64(0)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeDemo(t, tc.d)
+			var out, errOut bytes.Buffer
+			if code := run([]string{"-v", path}, &out, &errOut); code != 1 {
+				t.Fatalf("run = %d, want 1; stderr: %s", code, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), "cannot replay") {
+				t.Errorf("stderr missing validation error: %s", errOut.String())
+			}
+		})
+	}
+}
+
 func TestRunUsage(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run(nil, &out, &errOut); code != 2 {

@@ -256,6 +256,16 @@ func New(opts Options) (*Runtime, error) {
 	} else if opts.Record {
 		recorder = demo.NewRecorder(opts.Strategy, seed1, seed2)
 	}
+	// The world must exist before the scheduler so the OnStop hook below can
+	// capture it: when the scheduler stops (Stop, desync, deadlock, wall
+	// timeout) it interrupts the world's waiter queues, unblocking threads
+	// parked in virtual recv/accept so their abort can unwind immediately
+	// instead of after the waiters' timeouts.
+	rt.world = opts.World
+	if rt.world == nil {
+		rt.world = env.NewWorld(seed1 ^ seed2)
+	}
+	world := rt.world
 	s, err := sched.New(sched.Options{
 		Kind:      opts.Strategy,
 		Seed1:     seed1,
@@ -267,6 +277,7 @@ func New(opts Options) (*Runtime, error) {
 		PCTLength: opts.PCTLength,
 		Trace:     opts.Trace,
 		Metrics:   opts.Metrics,
+		OnStop:    func(error) { world.Interrupt() },
 	})
 	if err != nil {
 		return nil, err
@@ -280,10 +291,6 @@ func New(opts Options) (*Runtime, error) {
 	})
 	rt.det.SetReporting(opts.ReportRaces)
 	rt.det.SetTrace(rt.tr)
-	rt.world = opts.World
-	if rt.world == nil {
-		rt.world = env.NewWorld(seed1 ^ seed2)
-	}
 	rt.world.SetTrace(rt.tr)
 	rt.arena.init(opts.DeterministicAlloc)
 	rt.world.RegisterSignalSink(func(sig int32) { rt.deliverSignal(sig) })

@@ -20,11 +20,22 @@ func FuzzDecode(f *testing.F) {
 	corrupt := sampleDemo().Encode()
 	corrupt[len(corrupt)/2] ^= 0xFF
 	f.Add(corrupt)
+	// Decodable-but-unreplayable demos: a zero-thread queue demo claiming
+	// five ticks happened, and a FinalTick of ^uint64(0) whose +1 used to
+	// wrap the replayer's schedule allocation to length zero and panic on
+	// the first index. Checked-in copies live in testdata/fuzz/FuzzDecode.
+	f.Add((&Demo{Strategy: StrategyQueue, Seed1: 1, Seed2: 2, FinalTick: 5}).Encode())
+	f.Add((&Demo{Strategy: StrategyQueue, FinalTick: ^uint64(0)}).Encode())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := Decode(data)
 		if err != nil {
 			return
 		}
+		// Anything that decodes must survive Validate and the replayer
+		// constructor without panicking — a diagnostic error is fine, an
+		// index/alloc panic is the bug class this corpus pins down.
+		_ = d.Validate()
+		_, _ = NewReplayer(d)
 		// Whatever decodes must re-encode and decode to the same bytes
 		// (canonical form round trip).
 		enc := d.Encode()

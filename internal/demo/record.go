@@ -19,9 +19,14 @@ type Recorder struct {
 	seed1    uint64
 	seed2    uint64
 
-	queueFirst map[int32]uint64
-	queueDelta []uint64
-	lastTick   map[int32]uint64
+	// Queue-stream accumulation state, all indexed densely: TIDs are
+	// assigned densely from 0 and NoteSchedule runs once per tick, so the
+	// hot path is two slice stores and an amortised append — no map
+	// lookups, no per-tick reallocation. A zero in queueFirst/lastTick
+	// means "never scheduled" (ticks are 1-based).
+	queueFirst []uint64 // tid -> first tick
+	queueDelta []uint64 // tick-1 -> delta to the thread's next tick
+	lastTick   []uint64 // tid -> most recent tick
 
 	signals  []SignalEvent
 	asyncs   []AsyncEvent
@@ -33,11 +38,9 @@ type Recorder struct {
 // NewRecorder returns a Recorder for the given strategy and PRNG seeds.
 func NewRecorder(s Strategy, seed1, seed2 uint64) *Recorder {
 	return &Recorder{
-		strategy:   s,
-		seed1:      seed1,
-		seed2:      seed2,
-		queueFirst: make(map[int32]uint64),
-		lastTick:   make(map[int32]uint64),
+		strategy: s,
+		seed1:    seed1,
+		seed2:    seed2,
 	}
 }
 
@@ -47,15 +50,38 @@ func NewRecorder(s Strategy, seed1, seed2 uint64) *Recorder {
 func (r *Recorder) NoteSchedule(tid int32, tick uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for uint64(len(r.queueDelta)) < tick {
-		r.queueDelta = append(r.queueDelta, 0)
+	if uint64(cap(r.queueDelta)) < tick {
+		grown := make([]uint64, tick, growCap(cap(r.queueDelta), tick))
+		copy(grown, r.queueDelta)
+		r.queueDelta = grown
+	} else if uint64(len(r.queueDelta)) < tick {
+		// The extension is zero-filled: the backing array was zeroed at
+		// allocation and slots past len are never written.
+		r.queueDelta = r.queueDelta[:tick]
 	}
-	if last, ok := r.lastTick[tid]; ok {
+	for int(tid) >= len(r.lastTick) {
+		r.lastTick = append(r.lastTick, 0)
+		r.queueFirst = append(r.queueFirst, 0)
+	}
+	if last := r.lastTick[tid]; last != 0 {
 		r.queueDelta[last-1] = tick - last
 	} else {
 		r.queueFirst[tid] = tick
 	}
 	r.lastTick[tid] = tick
+}
+
+// growCap doubles the capacity until it covers need (minimum 1024 slots,
+// 8 KiB — one page of deltas — so short recordings do not resize at all).
+func growCap(cur int, need uint64) int {
+	c := uint64(cur)
+	if c < 1024 {
+		c = 1024
+	}
+	for c < need {
+		c *= 2
+	}
+	return int(c)
 }
 
 // AddSignal appends a SIGNAL stream entry and returns its stream index
@@ -125,9 +151,11 @@ func (r *Recorder) Finish(finalTick uint64) *Demo {
 		OutputHash: r.outputHash,
 	}
 	if r.strategy == StrategyQueue {
-		d.Queue.FirstTick = make(map[int32]uint64, len(r.queueFirst))
+		d.Queue.FirstTick = make(map[int32]uint64)
 		for tid, t := range r.queueFirst {
-			d.Queue.FirstTick[tid] = t
+			if t != 0 {
+				d.Queue.FirstTick[int32(tid)] = t
+			}
 		}
 		d.Queue.Ticks = append([]uint64(nil), r.queueDelta...)
 	}

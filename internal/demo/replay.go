@@ -3,6 +3,7 @@ package demo
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Replayer exposes a Demo's constraint streams as consumable cursors for
@@ -20,6 +21,14 @@ type Replayer struct {
 	asyncAt    map[uint64][]AsyncEvent
 	sysCursor  int
 	outputHash uint64
+
+	// sigsLeft and asyncsLeft count the unconsumed entries of the SIGNAL
+	// and ASYNC streams. SignalsAt/AsyncsAt run on every Tick of a replay,
+	// and for any workload without signals the streams are empty (or drain
+	// early): the counters let those calls return without the mutex or the
+	// map lookups.
+	sigsLeft   atomic.Int64
+	asyncsLeft atomic.Int64
 }
 
 type sigKey struct {
@@ -41,7 +50,18 @@ func NewReplayer(d *Demo) (*Replayer, error) {
 	for _, a := range d.Asyncs {
 		r.asyncAt[a.Tick] = append(r.asyncAt[a.Tick], a)
 	}
+	r.sigsLeft.Store(int64(len(d.Signals)))
+	r.asyncsLeft.Store(int64(len(d.Asyncs)))
 	if d.Strategy == StrategyQueue {
+		// Every tick 1..FinalTick must be covered by the schedule chains,
+		// and each chain step consumes either a FirstTick entry or a delta
+		// slot, so a FinalTick beyond their sum cannot be satisfied. Checking
+		// up front also keeps a corrupt FinalTick (e.g. ^uint64(0), whose +1
+		// wraps to zero below) from panicking or allocating wildly.
+		if d.FinalTick > uint64(len(d.Queue.Ticks))+uint64(len(d.Queue.FirstTick)) {
+			return nil, fmt.Errorf("%w: final tick %d exceeds the recorded schedule data (%d delta entries, %d threads)",
+				ErrCorrupt, d.FinalTick, len(d.Queue.Ticks), len(d.Queue.FirstTick))
+		}
 		r.schedule = make([]int32, d.FinalTick+1)
 		for i := range r.schedule {
 			r.schedule[i] = -1
@@ -87,23 +107,32 @@ func (r *Replayer) ScheduledAt(t uint64) int32 {
 // SignalsAt consumes and returns the signals recorded for thread tid whose
 // preceding Tick had value tick.
 func (r *Replayer) SignalsAt(tid int32, tick uint64) []int32 {
+	if r.sigsLeft.Load() == 0 {
+		// Empty or drained stream: nothing left to deliver, skip the lock.
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	k := sigKey{tid, tick}
 	sigs := r.signalAt[k]
 	if len(sigs) > 0 {
 		delete(r.signalAt, k)
+		r.sigsLeft.Add(-int64(len(sigs)))
 	}
 	return sigs
 }
 
 // AsyncsAt consumes and returns the async events floated to tick.
 func (r *Replayer) AsyncsAt(tick uint64) []AsyncEvent {
+	if r.asyncsLeft.Load() == 0 {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	evs := r.asyncAt[tick]
 	if len(evs) > 0 {
 		delete(r.asyncAt, tick)
+		r.asyncsLeft.Add(-int64(len(evs)))
 	}
 	return evs
 }

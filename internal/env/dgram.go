@@ -134,7 +134,7 @@ func (e *ExtDgram) Recv(max int, timeout time.Duration) ([]byte, int, error) {
 	e.w.mu.Lock()
 	defer e.w.mu.Unlock()
 	for {
-		if e.w.closed {
+		if e.w.closed || e.w.interrupted {
 			return nil, 0, ErrWorldClosed
 		}
 		if len(e.sock.inbox) > 0 {

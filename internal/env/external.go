@@ -33,7 +33,7 @@ func (w *World) ExternalConnect(port int, timeout time.Duration) (*ExtConn, erro
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for {
-		if w.closed {
+		if w.closed || w.interrupted {
 			return nil, ErrWorldClosed
 		}
 		if l, ok := w.ports[port]; ok && !l.closed {
@@ -95,7 +95,7 @@ func (c *ExtConn) Recv(max int, timeout time.Duration) ([]byte, error) {
 	c.w.mu.Lock()
 	defer c.w.mu.Unlock()
 	for {
-		if c.w.closed {
+		if c.w.closed || c.w.interrupted {
 			return nil, ErrWorldClosed
 		}
 		if len(c.b.dir[1]) > 0 {
@@ -149,7 +149,7 @@ func (l *ExtListener) Accept(timeout time.Duration) (*ExtConn, error) {
 	l.w.mu.Lock()
 	defer l.w.mu.Unlock()
 	for {
-		if l.w.closed {
+		if l.w.closed || l.w.interrupted {
 			return nil, ErrWorldClosed
 		}
 		el := l.w.extPort[l.port]
@@ -193,6 +193,22 @@ func (w *World) Shutdown() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.closed = true
+	w.cond.Broadcast()
+}
+
+// Interrupt unblocks every waiter — program-side threads parked in
+// WaitReadable and external goroutines blocked in Recv/Accept/Connect loops
+// — without closing the world. The runtime wires it to the scheduler's
+// OnStop hook: when a run stops (Stop, desync, deadlock, shutdown) while a
+// thread is blocked in a virtual recv, the waiter must not sit out its
+// timeout before the abort can unwind it. External waiters observe
+// ErrWorldClosed, the same outcome they would see at Shutdown moments
+// later. Safe to call from any goroutine, including scheduler callbacks:
+// it only touches world state.
+func (w *World) Interrupt() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.interrupted = true
 	w.cond.Broadcast()
 }
 

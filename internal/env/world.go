@@ -28,10 +28,15 @@ type World struct {
 	// extRand supplies external-world nondeterminism (session tokens,
 	// jitter). It is intentionally NOT the scheduler's recorded PRNG: the
 	// external world is allowed to be nondeterministic during recording.
-	extRand  uint64
-	closed   bool
-	sigSinks []func(sig int32)
-	tr       *obs.Tracer // trace sink for external-world events; nil-safe
+	extRand uint64
+	closed  bool
+	// interrupted is set by Interrupt when the scheduler stops: every
+	// blocking waiter (program-side WaitReadable, external Recv/Accept/
+	// Connect loops) must unblock even though the world is not yet shut
+	// down, or a stopped run hangs until the waiters' timeouts expire.
+	interrupted bool
+	sigSinks    []func(sig int32)
+	tr          *obs.Tracer // trace sink for external-world events; nil-safe
 }
 
 // SetTrace attaches an execution tracer; external stimuli (Kill,
@@ -505,7 +510,7 @@ func (w *World) WaitReadable(fds []PollFD, timeout time.Duration) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	for {
-		if w.closed {
+		if w.closed || w.interrupted {
 			return
 		}
 		for i := range fds {

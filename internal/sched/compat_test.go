@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/demo"
+)
+
+// TestReplayPreDirectedParkingDemo replays a demo checked in at
+// testdata/pre-directed-parking.demo, recorded by the scheduler as it was
+// before the broadcast-to-directed parking rewrite (commit 096d442), against
+// the same three-thread script. The rewrite changed how threads park and
+// wake but must not change a single strategy decision or PRNG draw, so the
+// old recording has to drive a fully synchronised replay: same tick count,
+// and every tick granted to the thread the recording names.
+func TestReplayPreDirectedParkingDemo(t *testing.T) {
+	data, err := os.ReadFile("testdata/pre-directed-parking.demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := demo.Decode(data)
+	if err != nil {
+		t.Fatalf("decode of pre-change demo: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("pre-change demo no longer validates: %v", err)
+	}
+	rp, err := demo.NewReplayer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Kind: d.Strategy, Seed1: d.Seed1, Seed2: d.Seed2, Replayer: rp})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The exact script cmd gendemo ran when the demo was recorded: main
+	// creates threads a, b, c; each performs 6 plain visible ops and exits.
+	h := &harness{s: s, t: t}
+	var ts []TID
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		h.op(0, func() { ts = append(ts, s.ThreadNew(0, name)) })
+	}
+	for _, tid := range ts {
+		tid := tid
+		h.thread(tid, func() {
+			for i := 0; i < 6; i++ {
+				h.op(tid, nil)
+			}
+		})
+	}
+	h.op(0, func() { s.ThreadDelete(0) })
+	h.wg.Wait()
+
+	if err := s.Err(); err != nil {
+		t.Fatalf("replay of pre-change demo desynchronised: %v", err)
+	}
+	if !s.Finished() {
+		t.Error("scheduler not finished after replay")
+	}
+	if got := s.TickCount(); got != d.FinalTick {
+		t.Errorf("replay ran %d ticks, recording has %d", got, d.FinalTick)
+	}
+	// The completion order must be exactly the recorded queue schedule.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if uint64(len(h.order)) != d.FinalTick {
+		t.Fatalf("completed %d visible ops, want %d", len(h.order), d.FinalTick)
+	}
+	for i, tid := range h.order {
+		tick := uint64(i + 1)
+		if want := rp.ScheduledAt(tick); int32(tid) != want {
+			t.Fatalf("tick %d ran thread %d, recording scheduled %d", tick, tid, want)
+		}
+	}
+}

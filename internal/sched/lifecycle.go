@@ -1,6 +1,9 @@
 package sched
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Thread lifecycle operations (§3.2, "Thread management"). All three are
 // visible operations: the runtime wraps each call in a Wait/Tick pair. They
@@ -19,6 +22,7 @@ func (s *Scheduler) ThreadNew(parent TID, name string) TID {
 		name = fmt.Sprintf("thread-%d", id)
 	}
 	th := &thread{id: id, name: name, enabled: true, waitJoin: NoTID}
+	th.park = sync.NewCond(&s.mu)
 	s.threads = append(s.threads, th)
 	s.live++
 	s.strategy.onNew(s, th)
@@ -61,7 +65,7 @@ func (s *Scheduler) ThreadDelete(tid TID) {
 	for _, w := range th.joinWaiters {
 		waiter := s.threads[w]
 		if !waiter.done && waiter.waitJoin == tid {
-			waiter.enabled = true
+			s.enableLocked(waiter)
 			waiter.waitJoin = NoTID
 		}
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/demo"
 	"repro/internal/obs"
@@ -95,6 +96,12 @@ type Options struct {
 	// Metrics, if non-nil, receives scheduler counters (decisions by
 	// strategy).
 	Metrics *obs.Metrics
+	// OnStop, if non-nil, is invoked exactly once when the scheduler stops
+	// (Stop, desync, deadlock, stall, shutdown), with the stopping error.
+	// It runs with the scheduler lock held, so it must not call back into
+	// the Scheduler; the runtime uses it to propagate the stop into the
+	// virtual environment's waiter queues so threads parked there unblock.
+	OnStop func(error)
 }
 
 type thread struct {
@@ -107,6 +114,12 @@ type thread struct {
 	started     bool
 	lastTick    uint64
 
+	// park is the thread's private gate: the thread blocks on it inside
+	// Wait, and exactly the scheduling decision that activates the thread
+	// signals it — a Tick is O(1) wakeups regardless of how many threads
+	// are parked. Only the owning thread ever waits on it.
+	park *sync.Cond
+
 	waitMutex uint64 // nonzero if disabled waiting for this mutex
 	waitCond  uint64 // nonzero if registered as waiter on this condvar
 	condTimed bool
@@ -116,6 +129,17 @@ type thread struct {
 	joinWaiters []TID
 
 	pendingSigs []int32
+	// sigPending mirrors len(pendingSigs) atomically, so ConsumeSignal's
+	// per-visible-op emptiness check — the overwhelmingly common case —
+	// avoids taking the scheduler lock.
+	sigPending atomic.Int32
+
+	// Queue-strategy bookkeeping: queued marks the thread as holding an
+	// arrival slot (stamped queueSeq); inRunq marks it as present in the
+	// runnable queue (enabled queued threads only).
+	queued   bool
+	inRunq   bool
+	queueSeq uint64
 
 	pctPriority uint64 // PCT only; higher runs first
 }
@@ -123,8 +147,14 @@ type thread struct {
 // Scheduler is the shared scheduling state. All exported methods are safe
 // for concurrent use by the threads under test and the external world.
 type Scheduler struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
+
+	// gapCond parks external-world callers (signal delivery) that must
+	// wait for the gap between critical sections. Tick signals it only
+	// when gapWaiters is nonzero, so the common no-signal path pays one
+	// integer check instead of a broadcast.
+	gapCond    *sync.Cond
+	gapWaiters int
 
 	opts     Options
 	rng      *prng.Source
@@ -135,8 +165,14 @@ type Scheduler struct {
 	current TID
 	tick    uint64
 
-	// queue is the FCFS arrival queue for the queue strategy.
-	queue []TID
+	// runq is the queue strategy's runnable queue: enabled queued threads
+	// in arrival order, consumed from runqHead. Disabled queued threads are
+	// tracked on the thread itself (queued/queueSeq) and re-inserted by
+	// onEnabled, so scheduling decisions never scan past them. queueSeq is
+	// the arrival-order stamp issued to each enqueue.
+	runq     []TID
+	runqHead int
+	queueSeq uint64
 
 	// mutexWaiters and condWaiters track which threads are blocked on
 	// which mutex or condition variable, in arrival order.
@@ -183,7 +219,7 @@ func New(opts Options) (*Scheduler, error) {
 	if opts.Metrics != nil {
 		s.decisions = opts.Metrics.Counter("sched.decisions." + opts.Kind.String())
 	}
-	s.cond = sync.NewCond(&s.mu)
+	s.gapCond = sync.NewCond(&s.mu)
 	switch opts.Kind {
 	case demo.StrategyRandom:
 		s.strategy = &randomStrategy{}
@@ -217,6 +253,7 @@ func New(opts Options) (*Scheduler, error) {
 		return nil, fmt.Errorf("sched: unknown strategy %v", opts.Kind)
 	}
 	main := &thread{id: 0, name: "main", enabled: true, waitJoin: NoTID}
+	main.park = sync.NewCond(&s.mu)
 	s.threads = append(s.threads, main)
 	s.live = 1
 	s.current = 0
@@ -266,7 +303,15 @@ func (s *Scheduler) failLocked(err error) {
 		s.tr.Emit(obs.Event{Tick: de.Tick, TID: de.TID, Kind: obs.KindDesync,
 			Stream: obs.StreamFromName(de.Stream), Offset: de.Offset})
 	}
-	s.cond.Broadcast()
+	// Stop is the one event that must reach every gate: wake each thread's
+	// private park and any external gap waiters explicitly.
+	for _, th := range s.threads {
+		th.park.Signal()
+	}
+	s.gapCond.Broadcast()
+	if s.opts.OnStop != nil {
+		s.opts.OnStop(err)
+	}
 }
 
 // Stop aborts the execution: every thread blocked in (or next arriving at)
@@ -293,7 +338,7 @@ func (s *Scheduler) Wait(tid TID) {
 			th.inWait = false
 			s.abortLocked()
 		}
-		s.cond.Wait()
+		th.park.Wait()
 	}
 	if s.stopped {
 		th.inWait = false
@@ -329,6 +374,11 @@ func (s *Scheduler) TickEvent(tid TID, ev obs.Event) uint64 {
 	t := s.tick
 	th.lastTick = t
 	th.midCritical = false
+	if s.gapWaiters > 0 {
+		// An external caller (signal delivery) is waiting for the gap
+		// between critical sections, which starts now.
+		s.gapCond.Broadcast()
+	}
 	s.recent[t%uint64(len(s.recent))] = recentTick{Tick: t, TID: tid}
 
 	if s.opts.Recorder != nil && s.opts.Kind == demo.StrategyQueue {
@@ -356,6 +406,7 @@ func (s *Scheduler) TickEvent(tid TID, ev obs.Event) uint64 {
 	if rep := s.opts.Replayer; rep != nil {
 		for _, sig := range rep.SignalsAt(int32(tid), t) {
 			th.pendingSigs = append(th.pendingSigs, sig)
+			th.sigPending.Store(int32(len(th.pendingSigs)))
 			if s.tr.Enabled() {
 				s.tr.Emit(obs.Event{Tick: t, TID: int32(tid), Kind: obs.KindSignal,
 					Obj: uint64(uint32(sig)), Stream: obs.StreamSignal})
@@ -391,7 +442,6 @@ func (s *Scheduler) TickEvent(tid TID, ev obs.Event) uint64 {
 			s.applyAsyncLocked(aev)
 		}
 	}
-	s.cond.Broadcast()
 	return t
 }
 
@@ -421,11 +471,41 @@ func (s *Scheduler) applyAsyncLocked(ev demo.AsyncEvent) {
 	}
 }
 
+// enableLocked re-enables a disabled thread and notifies the strategy, so
+// that a queued thread re-enters the runnable queue at its arrival
+// position. Every site that flips enabled to true must go through it.
+func (s *Scheduler) enableLocked(th *thread) {
+	th.enabled = true
+	s.strategy.onEnabled(s, th)
+}
+
+// runqPushLocked appends th to the runnable queue (arrival stamps are
+// issued in increasing order, so appends keep it sorted).
+func (s *Scheduler) runqPushLocked(th *thread) {
+	s.runq = append(s.runq, th.id)
+	th.inRunq = true
+}
+
+// runqInsertLocked inserts a re-enabled queued thread at its arrival
+// position. Re-wakes of queued threads are rare (they only arise when queue
+// replay runs a thread the strategy never dequeued), so a linear scan for
+// the insertion point is fine.
+func (s *Scheduler) runqInsertLocked(th *thread) {
+	i := s.runqHead
+	for i < len(s.runq) && s.threads[s.runq[i]].queueSeq < th.queueSeq {
+		i++
+	}
+	s.runq = append(s.runq, 0)
+	copy(s.runq[i+1:], s.runq[i:])
+	s.runq[i] = th.id
+	th.inRunq = true
+}
+
 // wakeLocked enables a disabled thread and clears its blocked-on state,
 // including its entry in any mutex waiter list (the thread will re-add
 // itself via MutexLockFail if its retried trylock fails).
 func (s *Scheduler) wakeLocked(th *thread) {
-	th.enabled = true
+	s.enableLocked(th)
 	if m := th.waitMutex; m != 0 {
 		waiters := s.mutexWaiters[m]
 		for i, w := range waiters {
@@ -478,6 +558,7 @@ func (s *Scheduler) advanceLocked() {
 			}
 			s.current = TID(want)
 			s.noteDecisionLocked()
+			s.unparkCurrentLocked()
 			return
 		}
 		// Past the end of the recording: fall through to live strategy.
@@ -493,6 +574,19 @@ func (s *Scheduler) advanceLocked() {
 	}
 	s.current = next
 	s.noteDecisionLocked()
+	s.unparkCurrentLocked()
+}
+
+// unparkCurrentLocked delivers the directed wakeup to the thread just
+// chosen by advanceLocked. If the thread is parked in Wait this is the one
+// signal that releases it; if it has not arrived at Wait yet the signal is
+// a no-op and the thread sees s.current == itself on arrival. A thread
+// woken here and then superseded (an AsyncReschedule re-running the
+// decision) simply rechecks its predicate and parks again.
+func (s *Scheduler) unparkCurrentLocked() {
+	if th := s.threads[s.current]; th.inWait {
+		th.park.Signal()
+	}
 }
 
 // noteDecisionLocked counts and traces the scheduling decision that just
@@ -598,7 +692,6 @@ func (s *Scheduler) ForceReschedule() {
 	}
 	s.current = NoTID
 	s.advanceLocked()
-	s.cond.Broadcast()
 }
 
 // Finished reports whether every thread has completed.

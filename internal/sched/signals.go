@@ -35,6 +35,7 @@ func (s *Scheduler) DeliverSignal(tid TID, sig int32) bool {
 		return false
 	}
 	th.pendingSigs = append(th.pendingSigs, sig)
+	th.sigPending.Store(int32(len(th.pendingSigs)))
 	if !th.enabled {
 		// The thread is disabled (e.g. blocked on a mutex): re-enable it
 		// so it can run its handler, recording the wakeup so that replay
@@ -46,7 +47,9 @@ func (s *Scheduler) DeliverSignal(tid TID, sig int32) bool {
 		// sections: replay re-applies it at the exact same point, the end
 		// of the Tick whose value is recorded with the event.
 		for !s.stopped && s.current != NoTID && s.threads[s.current].midCritical {
-			s.cond.Wait()
+			s.gapWaiters++
+			s.gapCond.Wait()
+			s.gapWaiters--
 		}
 		if s.stopped || th.done || th.enabled {
 			return !th.done
@@ -69,10 +72,10 @@ func (s *Scheduler) DeliverSignal(tid TID, sig int32) bool {
 		}
 		if s.current == NoTID {
 			// Nothing is scheduled (possibly a pending deadlock): the
-			// wakeup makes progress possible again.
+			// wakeup makes progress possible again. advanceLocked delivers
+			// the directed wakeup to whichever thread it chooses.
 			s.advanceLocked()
 		}
-		s.cond.Broadcast()
 	}
 	return true
 }
@@ -85,15 +88,30 @@ func (s *Scheduler) DeliverSignal(tid TID, sig int32) bool {
 // Tick() and the following Wait() the signal arrived; it floats to the end
 // of Tick()".
 func (s *Scheduler) ConsumeSignal(tid TID) (int32, bool) {
+	// Lock-free emptiness fast path: ConsumeSignal runs on every visible
+	// operation, and almost none of them are signal deliveries. The caller
+	// is the current thread mid-critical (it just returned from Wait, which
+	// acquired s.mu), so reading s.threads here is ordered after any
+	// ThreadNew that grew it; sigPending itself is atomic, so a racing
+	// DeliverSignal is seen either here or at the thread's next boundary —
+	// exactly the "signal floats to the next Tick" semantics.
+	th := s.threads[tid]
+	if th.sigPending.Load() == 0 {
+		return 0, false
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	th := s.threads[tid]
 	if len(th.pendingSigs) == 0 {
 		return 0, false
 	}
 	s.assertCurrentLocked(tid, "ConsumeSignal")
 	sig := th.pendingSigs[0]
-	th.pendingSigs = th.pendingSigs[1:]
+	// Shift in place rather than re-slicing forward: the backing array is
+	// reused across the run, so delivering signals never reallocates after
+	// the first append.
+	n := copy(th.pendingSigs, th.pendingSigs[1:])
+	th.pendingSigs = th.pendingSigs[:n]
+	th.sigPending.Store(int32(n))
 	if s.opts.Recorder != nil {
 		idx := s.opts.Recorder.AddSignal(demo.SignalEvent{
 			TID: int32(tid), Tick: th.lastTick, Sig: sig,

@@ -9,6 +9,10 @@ type strategy interface {
 	onNew(s *Scheduler, th *thread)
 	// onWait observes a thread arriving at Wait.
 	onWait(s *Scheduler, th *thread)
+	// onEnabled observes a disabled thread being re-enabled (mutex unlock,
+	// cond signal, join release, signal wakeup). Strategies that index
+	// runnable threads use it to restore the thread's position.
+	onEnabled(s *Scheduler, th *thread)
 	// next chooses the next thread to activate, or NoTID if the strategy
 	// currently has no candidate. next must not return a disabled or done
 	// thread.
@@ -20,8 +24,9 @@ type strategy interface {
 // entire interleaving is captured by the PRNG seeds, so it records nothing.
 type randomStrategy struct{}
 
-func (*randomStrategy) onNew(*Scheduler, *thread)  {}
-func (*randomStrategy) onWait(*Scheduler, *thread) {}
+func (*randomStrategy) onNew(*Scheduler, *thread)     {}
+func (*randomStrategy) onWait(*Scheduler, *thread)    {}
+func (*randomStrategy) onEnabled(*Scheduler, *thread) {}
 
 func (*randomStrategy) next(s *Scheduler) TID {
 	n := 0
@@ -48,38 +53,71 @@ func (*randomStrategy) next(s *Scheduler) TID {
 // queueStrategy is first-come-first-served over arrival at Wait (§3.1).
 // The schedule depends on physical arrival order, so it is recorded in the
 // QUEUE stream during record and dictated by it during replay.
+//
+// The decision rule is "enabled queued thread with the earliest arrival";
+// the original implementation kept one FIFO and scanned past disabled
+// entries on every decision, which made each Tick O(live threads) when
+// many threads sat blocked (the common shape of a lock-heavy workload).
+// Arrival order is instead stamped on the thread (queueSeq) and only
+// *enabled* queued threads live in the runnable queue: next() pops the
+// front in O(1), and a queued thread woken from a blocked state is
+// re-inserted at its arrival position by onEnabled — the same decision
+// sequence, without the per-tick scan. This is safe because a queued
+// thread can only flip disabled→enabled: every disable site acts on the
+// current thread, which was dequeued when it was chosen.
 type queueStrategy struct{}
 
 func (*queueStrategy) onNew(*Scheduler, *thread) {}
 
 func (*queueStrategy) onWait(s *Scheduler, th *thread) {
-	if s.current == th.id {
+	if s.current == th.id || th.queued {
 		// Already chosen to run (including the main thread's very first
-		// arrival): enqueueing would leave a stale entry that jumps the
-		// thread ahead of earlier arrivals at its next Tick.
+		// arrival), or already queued from an earlier arrival: enqueueing
+		// would leave a stale entry that jumps the thread ahead of earlier
+		// arrivals at its next Tick.
 		return
 	}
-	for _, q := range s.queue {
-		if q == th.id {
-			return
-		}
+	th.queued = true
+	th.queueSeq = s.queueSeq
+	s.queueSeq++
+	if th.enabled {
+		s.runqPushLocked(th)
 	}
-	s.queue = append(s.queue, th.id)
+	// A disabled arrival (e.g. a thread that just blocked on a mutex) keeps
+	// its position via queueSeq; onEnabled inserts it into the runnable
+	// queue when it is woken.
+}
+
+func (*queueStrategy) onEnabled(s *Scheduler, th *thread) {
+	if th.queued && !th.inRunq {
+		s.runqInsertLocked(th)
+	}
 }
 
 func (*queueStrategy) next(s *Scheduler) TID {
-	for i := 0; i < len(s.queue); {
-		tid := s.queue[i]
+	for s.runqHead < len(s.runq) {
+		tid := s.runq[s.runqHead]
+		s.runqHead++
+		if s.runqHead == len(s.runq) {
+			s.runq = s.runq[:0]
+			s.runqHead = 0
+		}
 		th := s.threads[tid]
+		th.inRunq = false
 		if th.done {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			th.queued = false
 			continue
 		}
-		if th.enabled {
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
-			return tid
+		if !th.enabled {
+			// Possible only when queue replay ran the thread without
+			// consulting the strategy (so it was never dequeued) and it then
+			// blocked: skip it but keep queued/queueSeq, so onEnabled
+			// restores its arrival position — matching the pre-split
+			// behaviour of scanning past disabled entries without removal.
+			continue
 		}
-		i++
+		th.queued = false
+		return tid
 	}
 	return NoTID
 }
@@ -114,7 +152,8 @@ func (p *pctStrategy) onNew(s *Scheduler, th *thread) {
 	th.pctPriority = uint64(len(p.changePoints)) + 1 + s.rng.Uint64n(1<<30)
 }
 
-func (p *pctStrategy) onWait(*Scheduler, *thread) {}
+func (p *pctStrategy) onWait(*Scheduler, *thread)    {}
+func (p *pctStrategy) onEnabled(*Scheduler, *thread) {}
 
 func (p *pctStrategy) next(s *Scheduler) TID {
 	if idx, ok := p.changePoints[s.tick]; ok {
@@ -168,8 +207,9 @@ func (d *delayStrategy) init(s *Scheduler, budget int, length uint64) {
 	}
 }
 
-func (d *delayStrategy) onNew(*Scheduler, *thread)  {}
-func (d *delayStrategy) onWait(*Scheduler, *thread) {}
+func (d *delayStrategy) onNew(*Scheduler, *thread)     {}
+func (d *delayStrategy) onWait(*Scheduler, *thread)    {}
+func (d *delayStrategy) onEnabled(*Scheduler, *thread) {}
 
 func (d *delayStrategy) next(s *Scheduler) TID {
 	first := d.nextEnabledAfter(s, d.lastRR)

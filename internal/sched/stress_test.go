@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/demo"
+)
+
+// stressMutex layers a real lock on top of the scheduler's mutex
+// bookkeeping, the way the runtime's trylock loop does: a failed attempt
+// calls MutexLockFail (disabling the thread) and the next visible op blocks
+// until MutexUnlock re-enables it. Every contended acquisition therefore
+// exercises the disable → directed-wakeup → re-enable path the tentpole
+// rewrote.
+type stressMutex struct {
+	id   uint64
+	mu   sync.Mutex
+	held bool
+}
+
+func (m *stressMutex) lock(h *harness, tid TID) {
+	for {
+		acquired := false
+		h.op(tid, func() {
+			m.mu.Lock()
+			if !m.held {
+				m.held = true
+				acquired = true
+			} else {
+				h.s.MutexLockFail(tid, m.id)
+			}
+			m.mu.Unlock()
+		})
+		if acquired {
+			return
+		}
+		// Disabled: this op parks until the holder's MutexUnlock wakes us,
+		// then we retry the trylock.
+	}
+}
+
+func (m *stressMutex) unlock(h *harness, tid TID) {
+	h.op(tid, func() {
+		m.mu.Lock()
+		m.held = false
+		m.mu.Unlock()
+		h.s.MutexUnlock(tid, m.id)
+	})
+}
+
+// TestStressNoLostWakeups runs many threads through many visible ops with
+// heavy mutex contention under every strategy. With broadcast wakeups this
+// was trivially live; with directed per-thread parking a single wake
+// delivered to the wrong (or no) gate deadlocks the run. The watchdog
+// converts such a hang into a test failure instead of a suite timeout.
+// Run under -race this also checks the parking fast paths' memory ordering.
+func TestStressNoLostWakeups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const (
+		nThreads = 12
+		nOps     = 120
+		nMutexes = 3
+	)
+	strategies := []demo.Strategy{demo.StrategyRandom, demo.StrategyQueue, demo.StrategyPCT}
+	for _, strat := range strategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			h := newHarness(t, Options{
+				Kind: strat, Seed1: 42, Seed2: 1337,
+				PCTDepth: 3, PCTLength: nThreads * nOps * 2,
+			})
+			mutexes := make([]*stressMutex, nMutexes)
+			for i := range mutexes {
+				mutexes[i] = &stressMutex{id: uint64(1000 + i)}
+			}
+			for i := 0; i < nThreads; i++ {
+				var tid TID
+				h.op(0, func() { tid = h.s.ThreadNew(0, fmt.Sprintf("w%d", i)) })
+				m := mutexes[i%nMutexes]
+				h.thread(tid, func() {
+					for j := 0; j < nOps; j++ {
+						if j%4 == 0 {
+							m.lock(h, tid)
+							m.unlock(h, tid)
+						} else {
+							h.op(tid, nil)
+						}
+					}
+				})
+			}
+			h.op(0, func() { h.s.ThreadDelete(0) })
+
+			finished := make(chan struct{})
+			go func() {
+				h.wg.Wait()
+				close(finished)
+			}()
+			select {
+			case <-finished:
+			case <-time.After(60 * time.Second):
+				h.s.Stop(ErrShutdown) // unpark everything so wg.Wait can drain
+				<-finished
+				t.Fatal("stress run hung: a wakeup was lost")
+			}
+			if err := h.s.Err(); err != nil {
+				t.Fatalf("stress run stopped with error: %v", err)
+			}
+			if !h.s.Finished() {
+				t.Error("scheduler not finished after all threads exited")
+			}
+		})
+	}
+}

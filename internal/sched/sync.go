@@ -44,7 +44,7 @@ func (s *Scheduler) MutexUnlock(tid TID, m uint64) {
 		}
 		th := s.threads[w]
 		if !th.done && !th.enabled && th.waitMutex == m {
-			th.enabled = true
+			s.enableLocked(th)
 			th.waitMutex = 0
 			return
 		}
@@ -110,7 +110,7 @@ func (s *Scheduler) wakeCondWaiterLocked(w TID, c uint64) {
 	th.condTaken = true
 	th.waitCond = 0
 	if !th.enabled {
-		th.enabled = true
+		s.enableLocked(th)
 	}
 }
 

@@ -96,8 +96,16 @@ func (s *Sample) Max() float64 {
 
 // Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation of
 // the sorted sample, matching the 25th/median/75th columns of Table 5.
+// Degenerate inputs are defined rather than panicking: an empty sample
+// yields 0 (like Mean/Min/Max), a single observation is every quantile of
+// itself, q outside [0, 1] clamps to the extremes, and a NaN q returns NaN
+// (previously it slipped past both range checks and indexed the sorted
+// slice at int(NaN)).
 func (s *Sample) Quantile(q float64) float64 {
 	n := len(s.xs)
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	if n == 0 {
 		return 0
 	}
@@ -121,6 +129,10 @@ func (s *Sample) Quantile(q float64) float64 {
 
 // Median returns the 0.5 quantile.
 func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Percentile returns the p-th percentile (p in [0, 100]); Percentile(25)
+// is Quantile(0.25). It shares Quantile's degenerate-input behaviour.
+func (s *Sample) Percentile(p float64) float64 { return s.Quantile(p / 100) }
 
 // Summary renders "mean (stddev)" with the given precision, the cell format
 // used throughout the paper's tables.
