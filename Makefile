@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test tsanvet bench
+.PHONY: check fmt vet build test tsanvet smoke bench
 
 check: fmt vet build test tsanvet
 
@@ -22,9 +22,18 @@ test:
 	$(GO) test ./...
 
 # tsanvet enforces the instrumentation discipline (see README
-# "Instrumentation discipline"): nonzero exit on any finding.
+# "Instrumentation discipline"): nonzero exit on any finding. It runs over
+# ./... and therefore covers internal/explore along with everything else.
 tsanvet:
 	$(GO) run ./cmd/tsanvet ./...
+
+# smoke runs the racehunt exploration pipeline end to end: a small trial
+# budget over ms-queue with 4 workers must find a failure, minimize it,
+# and leave behind a demo that demoinspect validates.
+smoke:
+	$(GO) run ./cmd/racehunt -program ms-queue -strategies rnd -trials 16 \
+		-workers 4 -seed 7 -corpus /tmp/racehunt-corpus.json -o /tmp/racehunt-race.demo
+	$(GO) run ./cmd/demoinspect /tmp/racehunt-race.demo
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -39,12 +39,7 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "usage: demoinspect [-v] [-stats] <demo file>")
 		return 2
 	}
-	data, err := os.ReadFile(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintln(errOut, err)
-		return 1
-	}
-	d, err := demo.Decode(data)
+	d, err := demo.ReadFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(errOut, err)
 		return 1
@@ -54,7 +49,7 @@ func run(args []string, out, errOut io.Writer) int {
 	fmt.Fprintf(out, "seeds:       %#x %#x\n", d.Seed1, d.Seed2)
 	fmt.Fprintf(out, "final tick:  %d\n", d.FinalTick)
 	fmt.Fprintf(out, "output hash: %#x\n", d.OutputHash)
-	fmt.Fprintf(out, "total size:  %d bytes\n", len(data))
+	fmt.Fprintf(out, "total size:  %d bytes\n", d.Size())
 	fmt.Fprintln(out, "sections:")
 	sizes := d.SectionSizes()
 	keys := make([]string, 0, len(sizes))

@@ -99,10 +99,9 @@ func bugExperiment(seconds float64, sess *obs.Session) {
 
 	fmt.Println("Recording networked play against the buggy server (Zandronum #2380 model)...")
 	for seed := uint64(1); ; seed++ {
-		out := game.PlayOpts(cfg, srv, core.Options{
-			Strategy: demo.StrategyQueue, Seed1: seed, Seed2: seed * 7,
-			Record: true, Policy: core.PolicySparse,
-		})
+		opts := core.RecordOptions(demo.StrategyQueue, seed, seed*7)
+		opts.Policy = core.PolicySparse
+		out := game.PlayOpts(cfg, srv, opts)
 		if out.Err != nil {
 			fmt.Fprintln(os.Stderr, out.Err)
 			os.Exit(1)
@@ -139,10 +138,9 @@ func policyExperiment(seconds float64, sess *obs.Session) {
 
 	table := &stats.Table{Header: []string{"Policy", "Demo bytes", "Replay frames", "Replay status"}}
 	for _, pol := range []core.Policy{core.PolicySparse, core.PolicyFull} {
-		out := game.PlayOpts(cfg, srv, core.Options{
-			Strategy: demo.StrategyQueue, Seed1: 3, Seed2: 9,
-			Record: true, Policy: pol,
-		})
+		opts := core.RecordOptions(demo.StrategyQueue, 3, 9)
+		opts.Policy = pol
+		out := game.PlayOpts(cfg, srv, opts)
 		if out.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", pol.Name, out.Err)
 			os.Exit(1)

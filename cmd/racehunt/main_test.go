@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/explore"
+)
+
+// TestRacehuntSmoke is the CI smoke flow: a small budget over ms-queue
+// with 4 workers must run trials, find at least one failure, and emit a
+// corpus plus a valid minimized demo.
+func TestRacehuntSmoke(t *testing.T) {
+	dir := t.TempDir()
+	demoPath := filepath.Join(dir, "race.demo")
+	corpusPath := filepath.Join(dir, "corpus.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-program", "ms-queue", "-strategies", "rnd",
+		"-trials", "16", "-workers", "4", "-seed", "7",
+		"-min-budget", "16",
+		"-corpus", corpusPath, "-o", demoPath,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("racehunt exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "ran 16 trials") {
+		t.Fatalf("expected 16 trials to run:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "failure 0:") {
+		t.Fatalf("ms-queue sweep found no failure:\n%s", out.String())
+	}
+
+	d, err := demo.ReadFile(demoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("written demo does not validate: %v", err)
+	}
+
+	c, err := explore.ReadCorpusFile(corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Program != "ms-queue" || len(c.Entries) == 0 {
+		t.Fatalf("corpus malformed: %+v", c)
+	}
+	for i, e := range c.Entries {
+		cd, err := e.Decode()
+		if err != nil {
+			t.Fatalf("corpus entry %d: %v", i, err)
+		}
+		if err := cd.Validate(); err != nil {
+			t.Fatalf("corpus entry %d demo invalid: %v", i, err)
+		}
+	}
+}
+
+func TestRacehuntUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-program", "no-such-program"},
+		{"-strategies", "bogus"},
+	}
+	for _, args := range cases {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr: %s)", args, code, errOut.String())
+		}
+	}
+}
+
+func TestRacehuntNoFailureExit(t *testing.T) {
+	// The barrier program is race-free under the random strategy with a
+	// tiny budget almost always; -o with no failure must exit nonzero so
+	// scripts notice. If the sweep does find a failure the demo must
+	// exist instead — accept either, but the exit code and file state
+	// have to agree.
+	dir := t.TempDir()
+	demoPath := filepath.Join(dir, "none.demo")
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-program", "barrier", "-strategies", "rnd",
+		"-trials", "2", "-workers", "1", "-minimize=false", "-o", demoPath,
+	}, &out, &errOut)
+	_, statErr := os.Stat(demoPath)
+	switch code {
+	case 0:
+		if statErr != nil {
+			t.Fatalf("exit 0 but no demo written:\n%s", out.String())
+		}
+	case 1:
+		if statErr == nil {
+			t.Fatalf("exit 1 but a demo was written:\n%s%s", out.String(), errOut.String())
+		}
+	default:
+		t.Fatalf("unexpected exit %d:\n%s%s", code, out.String(), errOut.String())
+	}
+}

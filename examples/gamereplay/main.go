@@ -28,12 +28,9 @@ func main() {
 	fmt.Println("playing online against the buggy server (recording)...")
 	var rec game.Outcome
 	for seed := uint64(1); ; seed++ {
-		rec = game.PlayOpts(cfg, srv, core.Options{
-			Strategy: demo.StrategyQueue,
-			Seed1:    seed, Seed2: seed * 11,
-			Record: true,
-			Policy: core.PolicySparse,
-		})
+		opts := core.RecordOptions(demo.StrategyQueue, seed, seed*11)
+		opts.Policy = core.PolicySparse
+		rec = game.PlayOpts(cfg, srv, opts)
 		if rec.Err != nil {
 			fmt.Fprintln(os.Stderr, rec.Err)
 			os.Exit(1)

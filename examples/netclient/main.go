@@ -121,13 +121,10 @@ func main() {
 	// Record against the live simulated server.
 	world := env.NewWorld(7)
 	runServer(world, 5)
-	rt, err := core.New(core.Options{
-		Strategy: demo.StrategyQueue,
-		Seed1:    1, Seed2: 2,
-		Record: true,
-		World:  world,
-		Policy: core.PolicySparse,
-	})
+	opts := core.RecordOptions(demo.StrategyQueue, 1, 2)
+	opts.World = world
+	opts.Policy = core.PolicySparse
+	rt, err := core.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -142,11 +139,9 @@ func main() {
 
 	// Replay with no server at all: every recv/poll/send result, and the
 	// shutdown signal's arrival tick, come from the demo.
-	rt2, err := core.New(core.Options{
-		Strategy: demo.StrategyQueue,
-		Replay:   rep.Demo,
-		Policy:   core.PolicySparse,
-	})
+	opts2 := core.ReplayOptions(rep.Demo)
+	opts2.Policy = core.PolicySparse
+	rt2, err := core.New(opts2)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -47,14 +47,9 @@ func main() {
 	// 1. Hunt for the race across seeds, recording each attempt.
 	var recorded *demo.Demo
 	for seed := uint64(1); seed <= 100; seed++ {
-		rt, err := core.New(core.Options{
-			Strategy:    demo.StrategyRandom,
-			Seed1:       seed,
-			Seed2:       seed ^ 0xbeef,
-			Record:      true,
-			ReportRaces: true,
-			Trace:       sess.Tracer,
-		})
+		opts := core.RecordOptions(demo.StrategyRandom, seed, seed^0xbeef)
+		opts.Trace = sess.Tracer
+		rt, err := core.New(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -79,12 +74,9 @@ func main() {
 	// 2. Replay the recorded execution: the same schedule, the same
 	// stale-read resolutions, the same race — every time.
 	for i := 0; i < 3; i++ {
-		rt, err := core.New(core.Options{
-			Strategy:    demo.StrategyRandom,
-			Replay:      recorded,
-			ReportRaces: true,
-			Trace:       sess.Tracer,
-		})
+		opts := core.ReplayOptions(recorded)
+		opts.Trace = sess.Tracer
+		rt, err := core.New(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -102,12 +102,9 @@ func run(buggy bool) {
 	}
 	world.AddFile("/data/big", content)
 
-	rt, err := core.New(core.Options{
-		Strategy: demo.StrategyRandom,
-		Seed1:    21, Seed2: 42,
-		Record: true, ReportRaces: true,
-		World: world,
-	})
+	opts := core.RecordOptions(demo.StrategyRandom, 21, 42)
+	opts.World = world
+	rt, err := core.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -126,10 +123,9 @@ func run(buggy bool) {
 	// Replay the same execution (fresh world, same file fixture).
 	world2 := env.NewWorld(5)
 	world2.AddFile("/data/big", content)
-	rt2, err := core.New(core.Options{
-		Strategy: demo.StrategyRandom, Replay: rep.Demo,
-		ReportRaces: true, World: world2,
-	})
+	opts2 := core.ReplayOptions(rep.Demo)
+	opts2.World = world2
+	rt2, err := core.New(opts2)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

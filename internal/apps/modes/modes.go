@@ -26,7 +26,9 @@ func Options(mode string, seed uint64, reportRaces bool) (core.Options, error) {
 	switch mode {
 	case "native":
 		// Uninstrumented execution on the raw Go scheduler.
-		return core.Options{Uncontrolled: true, DisableRaces: true, Seed1: s1, Seed2: s2}, nil
+		o := core.UncontrolledOptions(true)
+		o.Seed1, o.Seed2 = s1, s2
+		return o, nil
 	case "rr":
 		// rr without race detection: sequentialised, records everything.
 		o := rrmodel.Options(s1, s2, true)
@@ -34,7 +36,10 @@ func Options(mode string, seed uint64, reportRaces bool) (core.Options, error) {
 		return o, nil
 	case "tsan11":
 		// Race detection at the mercy of the OS (Go) scheduler.
-		return core.Options{Uncontrolled: true, ReportRaces: reportRaces, Seed1: s1, Seed2: s2}, nil
+		o := core.UncontrolledOptions(false)
+		o.ReportRaces = reportRaces
+		o.Seed1, o.Seed2 = s1, s2
+		return o, nil
 	case "tsan11+rr":
 		// tsan11-instrumented code running under rr.
 		o := rrmodel.Options(s1, s2, true)
@@ -45,9 +50,13 @@ func Options(mode string, seed uint64, reportRaces bool) (core.Options, error) {
 	case "queue":
 		return core.Options{Strategy: demo.StrategyQueue, Seed1: s1, Seed2: s2, ReportRaces: reportRaces}, nil
 	case "rnd+rec":
-		return core.Options{Strategy: demo.StrategyRandom, Seed1: s1, Seed2: s2, ReportRaces: reportRaces, Record: true}, nil
+		o := core.RecordOptions(demo.StrategyRandom, s1, s2)
+		o.ReportRaces = reportRaces
+		return o, nil
 	case "queue+rec":
-		return core.Options{Strategy: demo.StrategyQueue, Seed1: s1, Seed2: s2, ReportRaces: reportRaces, Record: true}, nil
+		o := core.RecordOptions(demo.StrategyQueue, s1, s2)
+		o.ReportRaces = reportRaces
+		return o, nil
 	case "pct":
 		return core.Options{Strategy: demo.StrategyPCT, Seed1: s1, Seed2: s2, ReportRaces: reportRaces}, nil
 	case "delay":

@@ -7,12 +7,20 @@
 //
 // A Runtime combines the controlled scheduler (internal/sched), the
 // tsan11-model race detector (internal/tsan), the sparse record/replay
-// engine (internal/demo) and a virtual environment (internal/env). Usage:
+// engine (internal/demo) and a virtual environment (internal/env).
 //
-//	rt, _ := core.New(core.Options{Strategy: demo.StrategyRandom, Seed1: 1, Seed2: 2, Record: true})
+// Configuration goes through Options, normally built with one of the
+// preset constructors — RecordOptions (controlled strategy + recording),
+// ReplayOptions (replay a demo, strategy and seeds from its header) and
+// UncontrolledOptions (the raw-Go-scheduler baselines) — with individual
+// fields adjusted afterwards as needed. core.New validates the options
+// (Options.Validate), so incompatible combinations fail at construction
+// rather than silently changing the execution. Usage:
+//
+//	rt, _ := core.New(core.RecordOptions(demo.StrategyRandom, 1, 2))
 //	report, err := rt.Run(func(t *core.Thread) { ... })
 //	// report.Demo can later be replayed:
-//	rt2, _ := core.New(core.Options{Strategy: demo.StrategyRandom, Replay: report.Demo})
+//	rt2, _ := core.New(core.ReplayOptions(report.Demo))
 package core
 
 import (
@@ -31,89 +39,6 @@ import (
 
 // TID aliases the scheduler thread id.
 type TID = sched.TID
-
-// Options configures a Runtime.
-type Options struct {
-	// Strategy selects the scheduling strategy (random, queue, or the PCT
-	// extension).
-	Strategy demo.Strategy
-	// Seed1, Seed2 seed the scheduler PRNG, standing in for the paper's
-	// two rdtsc() calls. A replay reuses the demo's recorded seeds.
-	Seed1, Seed2 uint64
-	// Record enables demo recording.
-	Record bool
-	// Replay, if non-nil, replays the given demo. Overrides Record and
-	// the seeds.
-	Replay *demo.Demo
-	// DisableRaces turns the race detector's happens-before analysis off
-	// entirely (the "native-ish" configurations). Detection is on by
-	// default because integrating it is the point of the tool.
-	DisableRaces bool
-	// ReportRaces controls whether detected races are materialised as
-	// reports; the paper's "no reports" columns run detection with
-	// reporting suppressed.
-	ReportRaces bool
-	// SequentialConsistency disables weak-memory store histories,
-	// modelling plain tsan semantics (ablation).
-	SequentialConsistency bool
-	// HistoryDepth bounds atomic store histories (default 8).
-	HistoryDepth int
-	// World is the virtual environment; nil creates a fresh one.
-	World *env.World
-	// Policy is the sparse syscall-recording policy (§4.4). Defaults to
-	// PolicySparse.
-	Policy Policy
-	// RescheduleQuantum is the liveness quantum n of §3.3: the background
-	// rescheduler forces a scheduling decision when the current thread
-	// spends longer than this outside a critical section. 0 means the
-	// 2ms default; negative disables.
-	RescheduleQuantum time.Duration
-	// MaxTicks aborts runaway executions (0 = 50M safety default).
-	MaxTicks uint64
-	// WallTimeout aborts the run after this much real time (0 = 30s).
-	WallTimeout time.Duration
-	// PCTDepth / PCTLength parameterise the PCT strategy.
-	PCTDepth  int
-	PCTLength uint64
-	// Sequentialize serialises invisible regions too: only one thread
-	// executes at any time, context-switching at visible operations. This
-	// models rr's single-core execution (used by the rr-model baseline
-	// and the ablation benchmarks).
-	Sequentialize bool
-	// PerEventOverhead adds a busy-wait to every instrumented syscall,
-	// modelling rr's per-event ptrace trap-stop-resume cost (real rr traps
-	// at syscalls, not at every synchronisation operation).
-	PerEventOverhead time.Duration
-	// StartupOverhead adds a one-time busy-wait at Run start, modelling
-	// rr's constant tracer-setup cost ("the rr results show huge increases
-	// due to a constant overhead applied to all programs", §5.1).
-	StartupOverhead time.Duration
-	// DeterministicAlloc makes Arena addresses deterministic, the
-	// mitigation §5.5 suggests for memory-layout-sensitive programs.
-	DeterministicAlloc bool
-	// Uncontrolled disables controlled scheduling entirely: the program
-	// runs on the raw Go scheduler with (optionally) race detection, the
-	// paper's plain-tsan11 baseline. With DisableRaces it is the "native"
-	// baseline. Incompatible with Record/Replay.
-	Uncontrolled bool
-	// SpawnDelay models pthread_create cost: the parent busy-waits this
-	// long after launching a child, giving the child the head start a
-	// pthread would have over later siblings. Go launches goroutines
-	// last-in-first-out, the opposite arrival order, so without this the
-	// queue strategy and the uncontrolled baseline explore schedules the
-	// paper's substrate never would. 0 = 100µs default; negative disables.
-	// Ignored during replay (the demo dictates the schedule).
-	SpawnDelay time.Duration
-	// Trace, if non-nil, receives a structured event per visible
-	// operation, scheduling decision and record/replay stream event. The
-	// tracer is always compiled in; present-but-disabled it costs a few
-	// nanoseconds per visible operation (an atomic enabled check).
-	Trace *obs.Tracer
-	// Metrics, if non-nil, receives runtime counters and histograms:
-	// visible operations by kind, scheduler decisions by strategy, demo
-	// bytes by stream, desync counts and run durations.
-	Metrics *obs.Metrics
-}
 
 // Report summarises one execution.
 type Report struct {
@@ -150,6 +75,14 @@ type Report struct {
 
 // RaceCount returns the number of distinct races in the report.
 func (r *Report) RaceCount() int { return len(r.Races) }
+
+// Failed reports whether the execution counts as a failure for hunting and
+// triage purposes: it terminated abnormally (Err, which includes hard
+// desynchronisation), soft-desynchronised, or detected data races. Drivers
+// use it instead of re-deriving the three checks.
+func (r *Report) Failed() bool {
+	return r.Err != nil || r.SoftDesync || len(r.Races) > 0
+}
 
 // Runtime is one instrumented execution context.
 type Runtime struct {
@@ -206,7 +139,7 @@ func New(opts Options) (*Runtime, error) {
 	if opts.Policy.Name == "" {
 		opts.Policy = PolicySparse
 	}
-	if err := validateUncontrolled(opts); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	rt := &Runtime{

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -30,16 +29,6 @@ func (u *uncontrolledState) init() {
 // native reports whether the runtime is the fully uninstrumented baseline.
 func (rt *Runtime) native() bool {
 	return rt.opts.Uncontrolled && rt.opts.DisableRaces
-}
-
-func validateUncontrolled(opts Options) error {
-	if !opts.Uncontrolled {
-		return nil
-	}
-	if opts.Record || opts.Replay != nil {
-		return errors.New("core: uncontrolled mode cannot record or replay")
-	}
-	return nil
 }
 
 // runUncontrolled is Run for uncontrolled mode.

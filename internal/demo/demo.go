@@ -429,6 +429,13 @@ func (d *Demo) WriteFile(path string) error {
 	return os.WriteFile(path, d.Encode(), 0o644)
 }
 
+// WriteFile serialises d to path. It is the package-level spelling of
+// (*Demo).WriteFile, mirroring ReadFile so drivers read and write demos
+// without touching Encode/Decode or the os package.
+func WriteFile(path string, d *Demo) error {
+	return d.WriteFile(path)
+}
+
 // ReadFile loads a demo from path.
 func ReadFile(path string) (*Demo, error) {
 	data, err := os.ReadFile(path)
@@ -436,4 +443,30 @@ func ReadFile(path string) (*Demo, error) {
 		return nil, err
 	}
 	return Decode(data)
+}
+
+// Clone returns a deep copy of the demo: mutating the copy's streams (as
+// the minimizer does when it truncates candidates) leaves the original
+// untouched. Syscall output buffers are copied too, since replay hands
+// them to the application.
+func (d *Demo) Clone() *Demo {
+	c := *d
+	if d.Queue.FirstTick != nil {
+		c.Queue.FirstTick = make(map[int32]uint64, len(d.Queue.FirstTick))
+		for tid, t := range d.Queue.FirstTick {
+			c.Queue.FirstTick[tid] = t
+		}
+	}
+	c.Queue.Ticks = append([]uint64(nil), d.Queue.Ticks...)
+	c.Signals = append([]SignalEvent(nil), d.Signals...)
+	c.Asyncs = append([]AsyncEvent(nil), d.Asyncs...)
+	c.Syscalls = append([]SyscallRecord(nil), d.Syscalls...)
+	for i := range c.Syscalls {
+		bufs := c.Syscalls[i].Bufs
+		c.Syscalls[i].Bufs = make([][]byte, len(bufs))
+		for j, b := range bufs {
+			c.Syscalls[i].Bufs[j] = append([]byte(nil), b...)
+		}
+	}
+	return &c
 }

@@ -1,0 +1,96 @@
+// Corpus: the JSON artifact a hunting run leaves behind — one entry per
+// distinct failure, carrying the minimized demo inline (base64, courtesy
+// of encoding/json's []byte handling) plus enough metadata to re-run the
+// originating trial from scratch.
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/demo"
+)
+
+// Corpus is the serialised output of one exploration sweep.
+type Corpus struct {
+	Program    string        `json:"program"`
+	MasterSeed uint64        `json:"master_seed"`
+	Trials     int           `json:"trials"`
+	Entries    []CorpusEntry `json:"entries"`
+}
+
+// CorpusEntry is one distinct failure with its minimized repro.
+type CorpusEntry struct {
+	Strategy   string   `json:"strategy"`
+	Seed1      uint64   `json:"seed1"`
+	Seed2      uint64   `json:"seed2"`
+	Trial      int      `json:"trial"`
+	Signature  string   `json:"signature"`
+	Races      []string `json:"races,omitempty"`
+	Err        string   `json:"err,omitempty"`
+	Duplicates int      `json:"duplicates"`
+	Reproduced bool     `json:"reproduced"`
+	// OriginalBytes and MinimizedBytes record the shrink; DemoBytes is
+	// the minimized demo's encoding.
+	OriginalBytes  int    `json:"original_bytes"`
+	MinimizedBytes int    `json:"minimized_bytes"`
+	DemoBytes      []byte `json:"demo,omitempty"`
+}
+
+// Decode deserialises the entry's demo.
+func (e *CorpusEntry) Decode() (*demo.Demo, error) {
+	if len(e.DemoBytes) == 0 {
+		return nil, fmt.Errorf("explore: corpus entry %q has no demo", e.Signature)
+	}
+	return demo.Decode(e.DemoBytes)
+}
+
+// Corpus assembles the sweep's corpus from its deduped failures.
+func (r *Result) Corpus() *Corpus {
+	c := &Corpus{Program: r.Program, MasterSeed: r.MasterSeed, Trials: r.Trials}
+	for _, f := range r.Failures {
+		e := CorpusEntry{
+			Strategy:   f.Spec.Strategy.String(),
+			Seed1:      f.Spec.Seed1,
+			Seed2:      f.Spec.Seed2,
+			Trial:      f.Spec.Index,
+			Signature:  f.Signature,
+			Races:      f.Races,
+			Err:        f.Err,
+			Duplicates: f.Duplicates,
+			Reproduced: f.Reproduced,
+		}
+		if f.Demo != nil {
+			e.OriginalBytes = f.Demo.Size()
+		}
+		if d := f.Minimized; d != nil {
+			e.DemoBytes = d.Encode()
+			e.MinimizedBytes = len(e.DemoBytes)
+		}
+		c.Entries = append(c.Entries, e)
+	}
+	return c
+}
+
+// WriteFile serialises the corpus to path as indented JSON.
+func (c *Corpus) WriteFile(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadCorpusFile loads a corpus written by WriteFile.
+func ReadCorpusFile(path string) (*Corpus, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c := new(Corpus)
+	if err := json.Unmarshal(data, c); err != nil {
+		return nil, fmt.Errorf("explore: corrupt corpus %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,402 @@
+// Package explore is the throughput layer of the find-record-replay
+// workflow: it shards independent controlled trials (strategy × seed ×
+// PCT parameters) across a bounded worker pool, dedupes the failures the
+// trials surface by signature, and minimizes one recorded demo per
+// distinct failure so every bug ships as a small replayable repro.
+//
+// The paper's contribution is that a single controlled execution is
+// recordable and replayable; C11Tester-style bug-finding power comes from
+// running very many of them. Each trial owns its own core.Runtime and
+// env.World, so trials share nothing but the read-only program body and
+// the observability instruments (which are safe for concurrent use). Trial
+// seeds are derived from one master seed with prng.Derive, making the
+// whole sweep a pure function of (program, config): the same master seed
+// and trial budget produce the same per-trial outcomes regardless of
+// worker count or completion order, and any single trial can be re-run in
+// isolation from its spec alone.
+//
+// from plain goroutines; nothing here executes between Wait and Tick.
+//
+//tsanrec:external exploration harness: runs whole Runtimes to completion
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/demo"
+	"repro/internal/env"
+	"repro/internal/obs"
+	"repro/internal/prng"
+	"repro/internal/sched"
+)
+
+// Program is the unit under exploration: a named body in the shape the
+// litmus suite and the examples already use. Body is called once per
+// trial with that trial's private Runtime and must be safe to invoke
+// concurrently from multiple trials (litmus bodies are: they close over
+// nothing but the Runtime).
+type Program struct {
+	Name string
+	Body func(rt *core.Runtime) func(*core.Thread)
+}
+
+// Config parameterises one exploration sweep.
+type Config struct {
+	// Program is the program under test. Required.
+	Program Program
+	// Strategies are rotated across trials (trial i uses strategy
+	// i mod len). Empty means random only.
+	Strategies []demo.Strategy
+	// Trials is the trial budget (default 128).
+	Trials int
+	// Workers bounds the pool (default GOMAXPROCS, capped at 8).
+	Workers int
+	// MasterSeed is expanded into per-trial seeds with prng.Derive.
+	MasterSeed uint64
+	// PCTDepths are rotated across the PCT/delay trials; empty leaves the
+	// strategy defaults. PCTLength is passed through unchanged.
+	PCTDepths []int
+	PCTLength uint64
+	// MaxTicks, TrialTimeout and RescheduleQuantum are forwarded to every
+	// trial's core.Options (zero keeps the core defaults; negative
+	// RescheduleQuantum disables forced rescheduling, which also makes
+	// random/PCT/delay trials fully seed-deterministic).
+	MaxTicks          uint64
+	TrialTimeout      time.Duration
+	RescheduleQuantum time.Duration
+	// WallBudget stops dispatching new trials once this much real time has
+	// elapsed (zero = no wall budget; the trial budget is the only limit).
+	WallBudget time.Duration
+	// Minimize runs the demo minimizer over each distinct failure.
+	// MinimizeBudget bounds the replays spent per failure (default 48).
+	Minimize       bool
+	MinimizeBudget int
+	// World, if non-nil, supplies a fresh virtual environment per trial;
+	// nil lets core derive one from the trial seeds.
+	World func() *env.World
+	// Trace and Metrics are attached to every trial's runtime and to the
+	// engine's own counters. Nil disables either, as everywhere in obs.
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
+}
+
+// TrialSpec identifies one trial: everything needed to re-run it in
+// isolation. Specs are a pure function of (Config, index).
+type TrialSpec struct {
+	Index     int
+	Strategy  demo.Strategy
+	Seed1     uint64
+	Seed2     uint64
+	PCTDepth  int
+	PCTLength uint64
+}
+
+// SpecFor returns trial i's spec. The strategy rotates through
+// cfg.Strategies, the seeds come from prng.Derive(MasterSeed, i), and the
+// PCT parameters apply only to the strategies that read them (Validate
+// rejects them elsewhere).
+func (cfg *Config) SpecFor(i int) TrialSpec {
+	spec := TrialSpec{Index: i, Strategy: demo.StrategyRandom}
+	if n := len(cfg.Strategies); n > 0 {
+		spec.Strategy = cfg.Strategies[i%n]
+	}
+	spec.Seed1, spec.Seed2 = prng.Derive(cfg.MasterSeed, uint64(i))
+	if spec.Strategy == demo.StrategyPCT || spec.Strategy == demo.StrategyDelay {
+		if n := len(cfg.PCTDepths); n > 0 {
+			rotation := i
+			if sn := len(cfg.Strategies); sn > 0 {
+				rotation = i / sn
+			}
+			spec.PCTDepth = cfg.PCTDepths[rotation%n]
+		}
+		spec.PCTLength = cfg.PCTLength
+	}
+	return spec
+}
+
+// Outcome is the deterministic summary of one trial. Duration is wall
+// time and is the only field that varies run to run.
+type Outcome struct {
+	Spec TrialSpec
+	// Ran is false when the wall budget expired before the trial was
+	// dispatched; all other fields are then zero.
+	Ran       bool
+	Failed    bool
+	Ticks     uint64
+	Races     int
+	Signature string
+	Duration  time.Duration
+}
+
+// Failure is one distinct failure signature with its recorded repro.
+type Failure struct {
+	// Spec is the lowest-indexed trial that produced this signature.
+	Spec      TrialSpec
+	Signature string
+	// Races are the race reports of the representative trial, sorted.
+	Races []string
+	// Err is the abnormal-termination cause, "" for pure races.
+	Err string
+	// Duplicates counts later trials that hit the same signature.
+	Duplicates int
+	// Demo is the representative trial's recording.
+	Demo *demo.Demo
+	// Minimized is the minimizer's output (== Demo when minimization is
+	// off, out of budget, or the original failed to reproduce).
+	Minimized *demo.Demo
+	// Reproduced reports whether replaying Demo reproduced Signature; the
+	// minimizer only shrinks reproducing demos. Always false when
+	// minimization is off.
+	Reproduced bool
+	// MinimizeReplays counts the replays the minimizer spent.
+	MinimizeReplays int
+}
+
+// Result is one sweep's outcome.
+type Result struct {
+	Program    string
+	MasterSeed uint64
+	// Outcomes holds every trial slot, indexed by trial index.
+	Outcomes []Outcome
+	// Failures holds one entry per distinct signature, ordered by the
+	// representative trial index.
+	Failures []*Failure
+	// Trials counts trials actually run; Failing counts the failing ones
+	// before deduplication.
+	Trials      int
+	Failing     int
+	DedupeHits  int
+	Elapsed     time.Duration
+	WallExpired bool
+}
+
+// TrialsPerSec is the sweep's throughput.
+func (r *Result) TrialsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Trials) / r.Elapsed.Seconds()
+}
+
+// Run executes the sweep: dispatch trials to the pool until the trial or
+// wall budget is exhausted, then dedupe and (optionally) minimize.
+// Dedupe and minimization run after the pool drains and key on trial
+// index, not completion order, so Result is deterministic for a fixed
+// config (minus Duration/Elapsed).
+func Run(cfg Config) (*Result, error) {
+	if cfg.Program.Body == nil {
+		return nil, errors.New("explore: Config.Program.Body is required")
+	}
+	for _, s := range cfg.Strategies {
+		if s > demo.StrategyDelay {
+			return nil, fmt.Errorf("explore: unknown strategy %v", s)
+		}
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 128
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+		if cfg.Workers > 8 {
+			cfg.Workers = 8
+		}
+	}
+	if cfg.MinimizeBudget <= 0 {
+		cfg.MinimizeBudget = 48
+	}
+
+	start := time.Now()
+	outcomes := make([]Outcome, cfg.Trials)
+	payloads := make([]*trialFailure, cfg.Trials)
+	trialsCtr := cfg.Metrics.Counter("explore.trials")
+	tickHist := cfg.Metrics.Histogram("explore.trial.ticks")
+
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				// Distinct workers write distinct slots; no lock needed.
+				outcomes[i], payloads[i] = runTrial(&cfg, cfg.SpecFor(i))
+				trialsCtr.Add(1)
+				tickHist.Observe(float64(outcomes[i].Ticks))
+			}
+		}()
+	}
+	expired := false
+	for i := 0; i < cfg.Trials; i++ {
+		if cfg.WallBudget > 0 && time.Since(start) > cfg.WallBudget {
+			expired = true
+			break
+		}
+		indexes <- i
+	}
+	close(indexes)
+	wg.Wait()
+
+	res := &Result{
+		Program:     cfg.Program.Name,
+		MasterSeed:  cfg.MasterSeed,
+		Outcomes:    outcomes,
+		WallExpired: expired,
+	}
+	bySig := make(map[string]*Failure)
+	for i := range outcomes {
+		if !outcomes[i].Ran {
+			continue
+		}
+		res.Trials++
+		p := payloads[i]
+		if p == nil {
+			continue
+		}
+		res.Failing++
+		if rep := bySig[p.signature]; rep != nil {
+			rep.Duplicates++
+			res.DedupeHits++
+			continue
+		}
+		f := &Failure{
+			Spec:      outcomes[i].Spec,
+			Signature: p.signature,
+			Races:     p.races,
+			Err:       p.errText,
+			Demo:      p.demo,
+			Minimized: p.demo,
+		}
+		bySig[p.signature] = f
+		res.Failures = append(res.Failures, f)
+	}
+	cfg.Metrics.Add("explore.failing", uint64(res.Failing))
+	cfg.Metrics.Add("explore.dedupe.hits", uint64(res.DedupeHits))
+
+	if cfg.Minimize {
+		// Minimization replays are trials too; reuse the pool bound.
+		sem := make(chan struct{}, cfg.Workers)
+		var mwg sync.WaitGroup
+		for _, f := range res.Failures {
+			if f.Demo == nil {
+				continue
+			}
+			mwg.Add(1)
+			sem <- struct{}{}
+			go func(f *Failure) {
+				defer mwg.Done()
+				defer func() { <-sem }()
+				minimizeFailure(&cfg, f)
+			}(f)
+		}
+		mwg.Wait()
+	}
+
+	res.Elapsed = time.Since(start)
+	cfg.Metrics.Observe("explore.trials_per_sec", res.TrialsPerSec())
+	return res, nil
+}
+
+// trialFailure is the failure payload a worker hands the dedupe pass.
+type trialFailure struct {
+	signature string
+	races     []string
+	errText   string
+	demo      *demo.Demo
+}
+
+// trialOptions is the one place trial knobs map onto core.Options, shared
+// by the recording trials and the minimizer's replays.
+func trialOptions(cfg *Config, base core.Options) core.Options {
+	base.MaxTicks = cfg.MaxTicks
+	base.WallTimeout = cfg.TrialTimeout
+	base.RescheduleQuantum = cfg.RescheduleQuantum
+	base.Trace = cfg.Trace
+	base.Metrics = cfg.Metrics
+	if cfg.World != nil {
+		base.World = cfg.World()
+	}
+	return base
+}
+
+func runTrial(cfg *Config, spec TrialSpec) (Outcome, *trialFailure) {
+	t0 := time.Now()
+	opts := trialOptions(cfg, core.RecordOptions(spec.Strategy, spec.Seed1, spec.Seed2))
+	opts.PCTDepth = spec.PCTDepth
+	opts.PCTLength = spec.PCTLength
+	rt, err := core.New(opts)
+	if err != nil {
+		// A config-level error (bad PCT params, etc.) counts as a failing
+		// trial with no demo, so the sweep surfaces it instead of dying.
+		out := Outcome{Spec: spec, Ran: true, Failed: true,
+			Signature: "config:" + err.Error(), Duration: time.Since(t0)}
+		return out, &trialFailure{signature: out.Signature, errText: err.Error()}
+	}
+	rep, _ := rt.Run(cfg.Program.Body(rt))
+	out := Outcome{
+		Spec:     spec,
+		Ran:      true,
+		Ticks:    rep.Ticks,
+		Races:    rep.RaceCount(),
+		Duration: time.Since(t0),
+	}
+	if !rep.Failed() {
+		return out, nil
+	}
+	out.Failed = true
+	out.Signature = signatureOf(rep)
+	tf := &trialFailure{signature: out.Signature, demo: rep.Demo}
+	for _, r := range rep.Races {
+		tf.races = append(tf.races, r.String())
+	}
+	sort.Strings(tf.races)
+	if rep.Err != nil {
+		tf.errText = rep.Err.Error()
+	}
+	return out, tf
+}
+
+// signatureOf canonicalises a report into a dedupe key. Race keys drop
+// the epochs (they vary per seed for the same bug) but keep location,
+// access kinds and thread ids; abnormal terminations are classified by
+// kind so that, say, every deadlock of the same thread set collapses into
+// one corpus entry.
+func signatureOf(rep *core.Report) string {
+	var parts []string
+	for _, r := range rep.Races {
+		parts = append(parts, fmt.Sprintf("race:%s:%v@t%v:%v@t%v",
+			r.Location, r.First.Kind, r.First.TID, r.Second.Kind, r.Second.TID))
+	}
+	sort.Strings(parts)
+	if rep.Err != nil {
+		parts = append(parts, classifyErr(rep.Err))
+	}
+	if rep.SoftDesync {
+		parts = append(parts, "softdesync")
+	}
+	return strings.Join(parts, "|")
+}
+
+func classifyErr(err error) string {
+	var de *sched.DeadlockError
+	if errors.As(err, &de) {
+		blocked := append([]string(nil), de.Blocked...)
+		sort.Strings(blocked)
+		return "deadlock:[" + strings.Join(blocked, ",") + "]"
+	}
+	var se *sched.StalledError
+	if errors.As(err, &se) {
+		return "stalled"
+	}
+	var dse *demo.DesyncError
+	if errors.As(err, &dse) {
+		return "desync:" + dse.Stream
+	}
+	return "error:" + err.Error()
+}

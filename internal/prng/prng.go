@@ -111,3 +111,22 @@ func (src *Source) Clone() *Source {
 	dup := *src
 	return &dup
 }
+
+// Derive expands a master seed into the two-word seed for an independent
+// numbered stream. Sharded exploration gives trial i the seeds
+// Derive(master, i): each trial's xoshiro state is then decorrelated from
+// its neighbours by two SplitMix64 finalisation rounds, while the mapping
+// (master, stream) -> seeds stays pure, so a trial can be re-run in
+// isolation without replaying the generator that scheduled it.
+func Derive(master, stream uint64) (seed1, seed2 uint64) {
+	seed1 = splitmix(master + (2*stream+1)*0x9e3779b97f4a7c15)
+	seed2 = splitmix(seed1 + 0x9e3779b97f4a7c15)
+	return seed1, seed2
+}
+
+// splitmix is one SplitMix64 finalisation round.
+func splitmix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

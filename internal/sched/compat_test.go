@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"os"
 	"testing"
 
 	"repro/internal/demo"
@@ -15,13 +14,9 @@ import (
 // old recording has to drive a fully synchronised replay: same tick count,
 // and every tick granted to the thread the recording names.
 func TestReplayPreDirectedParkingDemo(t *testing.T) {
-	data, err := os.ReadFile("testdata/pre-directed-parking.demo")
+	d, err := demo.ReadFile("testdata/pre-directed-parking.demo")
 	if err != nil {
-		t.Fatal(err)
-	}
-	d, err := demo.Decode(data)
-	if err != nil {
-		t.Fatalf("decode of pre-change demo: %v", err)
+		t.Fatalf("read of pre-change demo: %v", err)
 	}
 	if err := d.Validate(); err != nil {
 		t.Fatalf("pre-change demo no longer validates: %v", err)
