@@ -14,8 +14,10 @@ type AtomicState struct {
 	// monotonically as stores are appended and old entries evicted.
 	base int
 	// lastSeen[tid] is the highest modification-order index thread tid
-	// has observed (read or written), for read-read coherence.
-	lastSeen map[TID]int
+	// has observed (read or written), for read-read coherence. Dense,
+	// indexed by TID (TIDs are small scheduler-assigned integers), grown
+	// on demand; -1 means the thread has not observed this location.
+	lastSeen []int
 	// lastSC is the modification-order index of the most recent seq_cst
 	// store (-1 if none): a seq_cst load may not read anything older.
 	lastSC int
@@ -35,13 +37,30 @@ type storeRecord struct {
 // NewAtomicState returns the state for a fresh atomic location holding an
 // initial value, attributed to the creating thread.
 func NewAtomicState(d *Detector, tid TID, init uint64) *AtomicState {
-	a := &AtomicState{lastSeen: make(map[TID]int), lastSC: -1}
+	a := &AtomicState{lastSC: -1}
 	// The initialisation is a plain write that happens-before everything
 	// the creating thread subsequently releases.
 	a.history = append(a.history, storeRecord{
 		value: init, tid: tid, epoch: d.Epoch(tid),
 	})
 	return a
+}
+
+// seenIndex returns the highest modification-order index tid has observed,
+// or -1 if it has never accessed this location.
+func (a *AtomicState) seenIndex(tid TID) int {
+	if int(tid) >= len(a.lastSeen) {
+		return -1
+	}
+	return a.lastSeen[tid]
+}
+
+// setSeen records that tid observed modification-order index idx.
+func (a *AtomicState) setSeen(tid TID, idx int) {
+	for int(tid) >= len(a.lastSeen) {
+		a.lastSeen = append(a.lastSeen, -1)
+	}
+	a.lastSeen[tid] = idx
 }
 
 func (a *AtomicState) top() *storeRecord { return &a.history[len(a.history)-1] }
@@ -61,7 +80,7 @@ func (a *AtomicState) HistoryLen() int { return len(a.history) }
 // happens-before), read-read coherence (lastSeen), or eviction.
 func (a *AtomicState) minVisibleIndex(d *Detector, tid TID) int {
 	min := a.base
-	if seen, ok := a.lastSeen[tid]; ok && seen > min {
+	if seen := a.seenIndex(tid); seen > min {
 		min = seen
 	}
 	c := d.clock(tid)
@@ -98,7 +117,7 @@ func (d *Detector) Load(a *AtomicState, tid TID, order MemoryOrder) uint64 {
 		idx = min + d.rng.Intn(top-min+1)
 	}
 	rec := &a.history[idx-a.base]
-	a.lastSeen[tid] = idx
+	a.setSeen(tid, idx)
 	if rec.release != nil {
 		if order.acquires() {
 			d.clocks[tid].Join(rec.release)
@@ -151,7 +170,7 @@ func (d *Detector) appendStore(a *AtomicState, tid TID, value uint64, order Memo
 		a.history = append(a.history[:0], a.history[drop:]...)
 		a.base += drop
 	}
-	a.lastSeen[tid] = a.topIndex()
+	a.setSeen(tid, a.topIndex())
 	if order == SeqCst {
 		a.lastSC = a.topIndex()
 		d.scClock.Join(d.clocks[tid])
@@ -194,7 +213,7 @@ func (d *Detector) CompareExchange(a *AtomicState, tid TID, expected, desired ui
 				d.pendingAcquire[tid].Join(rel)
 			}
 		}
-		a.lastSeen[tid] = a.topIndex()
+		a.setSeen(tid, a.topIndex())
 		return old, false
 	}
 	d.RMW(a, tid, order, func(uint64) uint64 { return desired })

@@ -241,7 +241,7 @@ func TestCoherenceReadReadProperty(t *testing.T) {
 		prev := -1
 		for i := 0; i < 16; i++ {
 			d.Load(a, 2, Relaxed)
-			seen := a.lastSeen[2]
+			seen := a.seenIndex(2)
 			if seen < prev {
 				return false
 			}
