@@ -17,7 +17,13 @@ type Mutex struct {
 	name   string
 	locked bool
 	owner  TID
-	clock  vclock.Clock // release clock for the happens-before edge
+	// clock is the release snapshot published by the last Unlock. A mutex
+	// can hold a snapshot (replaced, not accumulated) because each locker
+	// acquires the previous holder's snapshot before releasing its own,
+	// so every new snapshot dominates the one it replaces. The condvar
+	// clock below cannot: POSIX lets a thread signal without ever having
+	// synchronised with the condvar, so its clock must accumulate.
+	clock vclock.Snapshot
 
 	// nmu backs the mutex in the fully native (uninstrumented) baseline.
 	nmu sync.Mutex
@@ -44,7 +50,7 @@ func (m *Mutex) Lock(t *Thread) {
 				acquired = true
 				t.evArg = 1
 				rt.detMu.Lock()
-				rt.det.AcquireEdge(t.id, &m.clock)
+				rt.det.AcquireSnapshot(t.id, m.clock)
 				rt.detMu.Unlock()
 			} else {
 				rt.sch.MutexLockFail(t.id, m.id)
@@ -74,7 +80,7 @@ func (m *Mutex) TryLock(t *Thread) bool {
 			acquired = true
 			t.evArg = 1
 			rt.detMu.Lock()
-			rt.det.AcquireEdge(t.id, &m.clock)
+			rt.det.AcquireSnapshot(t.id, m.clock)
 			rt.detMu.Unlock()
 		}
 	})
@@ -95,7 +101,7 @@ func (m *Mutex) Unlock(t *Thread) {
 		m.locked = false
 		m.owner = -1
 		rt.detMu.Lock()
-		rt.det.ReleaseEdge(t.id, &m.clock)
+		m.clock = rt.det.ReleaseSnapshot(t.id)
 		rt.detMu.Unlock()
 		rt.sch.MutexUnlock(t.id, m.id)
 	})
@@ -165,7 +171,7 @@ func (c *Cond) wait(t *Thread, timed bool) WaitResult {
 		c.m.locked = false
 		c.m.owner = -1
 		rt.detMu.Lock()
-		rt.det.ReleaseEdge(t.id, &c.m.clock)
+		c.m.clock = rt.det.ReleaseSnapshot(t.id)
 		rt.detMu.Unlock()
 		rt.sch.MutexUnlock(t.id, c.m.id)
 	})

@@ -163,7 +163,7 @@ func (m *Mutex) uncontrolledLock(t *Thread) {
 	m.nmu.Lock()
 	if !rt.opts.DisableRaces {
 		rt.detMu.Lock()
-		rt.det.AcquireEdge(t.id, &m.clock)
+		rt.det.AcquireSnapshot(t.id, m.clock)
 		rt.detMu.Unlock()
 	}
 }
@@ -175,7 +175,7 @@ func (m *Mutex) uncontrolledTryLock(t *Thread) bool {
 	}
 	if !rt.opts.DisableRaces {
 		rt.detMu.Lock()
-		rt.det.AcquireEdge(t.id, &m.clock)
+		rt.det.AcquireSnapshot(t.id, m.clock)
 		rt.detMu.Unlock()
 	}
 	return true
@@ -185,7 +185,7 @@ func (m *Mutex) uncontrolledUnlock(t *Thread) {
 	rt := m.rt
 	if !rt.opts.DisableRaces {
 		rt.detMu.Lock()
-		rt.det.ReleaseEdge(t.id, &m.clock)
+		m.clock = rt.det.ReleaseSnapshot(t.id)
 		rt.detMu.Unlock()
 	}
 	m.nmu.Unlock()
@@ -201,7 +201,7 @@ func (c *Cond) uncontrolledWait(t *Thread, timed bool) WaitResult {
 	rt := c.rt
 	if !rt.opts.DisableRaces {
 		rt.detMu.Lock()
-		rt.det.ReleaseEdge(t.id, &c.m.clock)
+		c.m.clock = rt.det.ReleaseSnapshot(t.id)
 		rt.detMu.Unlock()
 	}
 	ch := make(chan struct{}, 1)
@@ -242,7 +242,7 @@ func (c *Cond) uncontrolledWait(t *Thread, timed bool) WaitResult {
 	}
 	if !rt.opts.DisableRaces {
 		rt.detMu.Lock()
-		rt.det.AcquireEdge(t.id, &c.m.clock)
+		rt.det.AcquireSnapshot(t.id, c.m.clock)
 		if took {
 			rt.det.AcquireEdge(t.id, &c.clock)
 		}

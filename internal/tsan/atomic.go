@@ -27,10 +27,12 @@ type storeRecord struct {
 	value uint64
 	tid   TID
 	epoch vclock.Epoch
-	// release is the storing thread's clock if the store participates in
-	// a release operation (or continues a release sequence); nil for a
-	// plain relaxed store.
-	release *vclock.Clock
+	// release is a snapshot of the storing thread's clock if the store
+	// participates in a release operation (or continues a release
+	// sequence); the zero Snapshot for a plain relaxed store. Snapshots
+	// are shared: every release store a thread performs within one epoch
+	// carries the same one, so appending here does not allocate.
+	release vclock.Snapshot
 	seqCst  bool
 }
 
@@ -118,13 +120,13 @@ func (d *Detector) Load(a *AtomicState, tid TID, order MemoryOrder) uint64 {
 	}
 	rec := &a.history[idx-a.base]
 	a.setSeen(tid, idx)
-	if rec.release != nil {
+	if !rec.release.IsZero() {
 		if order.acquires() {
-			d.clocks[tid].Join(rec.release)
+			d.clocks[tid].JoinSnapshot(rec.release)
 		} else {
 			// A relaxed load can still synchronise through a later
 			// acquire fence: remember the release clock.
-			d.pendingAcquire[tid].Join(rec.release)
+			d.pendingAcquire[tid].JoinSnapshot(rec.release)
 		}
 	}
 	if order == SeqCst {
@@ -146,21 +148,20 @@ func (d *Detector) appendStore(a *AtomicState, tid TID, value uint64, order Memo
 	}
 	rec := storeRecord{value: value, tid: tid, epoch: d.Epoch(tid), seqCst: order == SeqCst}
 	if order.releases() {
-		rec.release = d.clocks[tid].Copy()
-	} else if rf := d.releaseFence[tid]; rf != nil {
-		// Relaxed store after a release fence: carries the fence clock.
-		rel := rf.Copy()
-		rec.release = rel
+		rec.release = d.snap(tid)
+	} else if rf := d.releaseFence[tid]; !rf.IsZero() {
+		// Relaxed store after a release fence: shares the fence snapshot.
+		rec.release = rf
 	}
 	if rmw {
 		// An RMW continues the release sequence of the store it replaces:
 		// an acquire load of this store synchronises with the original
 		// release head as well (C++11 §1.10).
-		if prev := a.top(); prev.release != nil {
-			if rec.release == nil {
-				rec.release = prev.release.Copy()
+		if prev := a.top(); !prev.release.IsZero() {
+			if rec.release.IsZero() {
+				rec.release = prev.release
 			} else {
-				rec.release.Join(prev.release)
+				rec.release = vclock.MergeSnapshots(rec.release, prev.release)
 			}
 		}
 	}
@@ -185,11 +186,11 @@ func (d *Detector) appendStore(a *AtomicState, tid TID, value uint64, order Memo
 // returns the old value.
 func (d *Detector) RMW(a *AtomicState, tid TID, order MemoryOrder, fn func(old uint64) uint64) uint64 {
 	old := a.top().value
-	if rel := a.top().release; rel != nil {
+	if rel := a.top().release; !rel.IsZero() {
 		if order.acquires() {
-			d.clocks[tid].Join(rel)
+			d.clocks[tid].JoinSnapshot(rel)
 		} else {
-			d.pendingAcquire[tid].Join(rel)
+			d.pendingAcquire[tid].JoinSnapshot(rel)
 		}
 	}
 	if order == SeqCst {
@@ -206,11 +207,11 @@ func (d *Detector) CompareExchange(a *AtomicState, tid TID, expected, desired ui
 	old := a.top().value
 	if old != expected {
 		// Failed CAS: a load of the newest value.
-		if rel := a.top().release; rel != nil {
+		if rel := a.top().release; !rel.IsZero() {
 			if failOrder.acquires() {
-				d.clocks[tid].Join(rel)
+				d.clocks[tid].JoinSnapshot(rel)
 			} else {
-				d.pendingAcquire[tid].Join(rel)
+				d.pendingAcquire[tid].JoinSnapshot(rel)
 			}
 		}
 		a.setSeen(tid, a.topIndex())

@@ -91,7 +91,18 @@ type Detector struct {
 	// releaseFence holds, per thread, the clock snapshot taken at the
 	// thread's most recent release fence; relaxed stores that follow the
 	// fence carry it as their release clock (C++11 §29.8).
-	releaseFence []*vclock.Clock
+	releaseFence []vclock.Snapshot
+
+	// relSnap/relGen cache one release snapshot per thread per clock
+	// generation: all release stores, fences and edges a thread performs
+	// within one epoch share the same immutable snapshot, so a
+	// release-store loop allocates nothing after its first iteration.
+	relSnap []vclock.Snapshot
+	relGen  []uint64
+
+	// readPool recycles the full read clocks that Shadow escalation
+	// allocates; OnWrite returns them here when it clears the shadow.
+	readPool []*vclock.Clock
 
 	reports  []Report
 	seen     map[reportKey]bool
@@ -125,7 +136,9 @@ func (d *Detector) registerThread(tid TID) {
 	for int(tid) >= len(d.clocks) {
 		d.clocks = append(d.clocks, &vclock.Clock{})
 		d.pendingAcquire = append(d.pendingAcquire, &vclock.Clock{})
-		d.releaseFence = append(d.releaseFence, nil)
+		d.releaseFence = append(d.releaseFence, vclock.Snapshot{})
+		d.relSnap = append(d.relSnap, vclock.Snapshot{})
+		d.relGen = append(d.relGen, 0)
 	}
 	// Every thread starts with epoch 1 for itself so that epoch 0 means
 	// "never accessed".
@@ -153,16 +166,64 @@ func (d *Detector) OnThreadJoin(waiter, target TID) {
 	d.clocks[waiter].Tick(waiter)
 }
 
-// AcquireEdge joins an external clock (mutex, condvar) into tid's clock.
+// AcquireEdge joins an external clock (condvar) into tid's clock.
 func (d *Detector) AcquireEdge(tid TID, c *vclock.Clock) {
 	d.clocks[tid].Join(c)
 }
 
 // ReleaseEdge publishes tid's clock into an external clock and advances
-// tid's epoch.
+// tid's epoch. Used for synchronisation objects whose clock must
+// accumulate across releases by unrelated threads (condvars: POSIX lets a
+// thread signal without ever having acquired the condvar's clock).
 func (d *Detector) ReleaseEdge(tid TID, c *vclock.Clock) {
 	c.Join(d.clocks[tid])
 	d.clocks[tid].Tick(tid)
+}
+
+// snap returns the shared release snapshot of tid's current clock, taking
+// it at most once per clock generation.
+func (d *Detector) snap(tid TID) vclock.Snapshot {
+	c := d.clocks[tid]
+	if g := c.Gen() + 1; d.relGen[tid] != g {
+		d.relSnap[tid] = c.Snapshot(tid)
+		d.relGen[tid] = g
+	}
+	return d.relSnap[tid]
+}
+
+// ReleaseSnapshot returns an immutable snapshot of tid's clock for a
+// release edge, and advances tid's epoch. Unlike ReleaseEdge's
+// accumulating join, the caller REPLACES the sync object's clock with the
+// snapshot. That is sound only when every releaser first acquired the
+// clock it replaces — true for mutexes, where Lock joins the stored
+// snapshot before Unlock publishes a new one, so each snapshot dominates
+// its predecessor. Condvars must keep using ReleaseEdge.
+func (d *Detector) ReleaseSnapshot(tid TID) vclock.Snapshot {
+	s := d.snap(tid)
+	d.clocks[tid].Tick(tid)
+	return s
+}
+
+// AcquireSnapshot joins a release snapshot (mutex hand-off) into tid's
+// clock.
+func (d *Detector) AcquireSnapshot(tid TID, s vclock.Snapshot) {
+	d.clocks[tid].JoinSnapshot(s)
+}
+
+// getReadClock takes a clock from the escalated-read-shadow pool.
+func (d *Detector) getReadClock() *vclock.Clock {
+	if n := len(d.readPool); n > 0 {
+		c := d.readPool[n-1]
+		d.readPool = d.readPool[:n-1]
+		return c
+	}
+	return &vclock.Clock{}
+}
+
+// putReadClock resets a clock and returns it to the pool for reuse.
+func (d *Detector) putReadClock(c *vclock.Clock) {
+	c.Reset()
+	d.readPool = append(d.readPool, c)
 }
 
 // Fence implements C++11 atomic_thread_fence.
@@ -171,12 +232,12 @@ func (d *Detector) Fence(tid TID, order MemoryOrder) {
 		// Claim the release clocks of stores previously read by relaxed
 		// loads.
 		d.clocks[tid].Join(d.pendingAcquire[tid])
-		d.pendingAcquire[tid] = &vclock.Clock{}
+		d.pendingAcquire[tid].Reset()
 	}
 	if order.releases() {
 		// Subsequent relaxed stores act as release stores carrying the
-		// clock as of the fence: snapshot now.
-		d.releaseFence[tid] = d.clocks[tid].Copy()
+		// clock as of the fence: snapshot now (shared, not copied).
+		d.releaseFence[tid] = d.snap(tid)
 		d.clocks[tid].Tick(tid)
 	}
 	if order == SeqCst {

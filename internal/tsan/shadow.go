@@ -4,12 +4,28 @@ import "repro/internal/vclock"
 
 // Shadow is the per-location shadow state for a non-atomic (data) location,
 // in the FastTrack style the original ThreadSanitizer uses: the last write
-// as a (tid, epoch) pair plus a read clock recording the newest read by
-// each thread since that write.
+// as a (tid, epoch) pair, and the reads since that write as a second
+// (tid, epoch) pair that escalates to a full read clock only once a second
+// thread reads the location. The common cases — thread-local data and
+// ordered hand-offs with a single reader — therefore check and update in
+// O(1) regardless of thread count; only genuinely multi-reader locations
+// pay for a clock, and that clock comes from the detector's pool.
+//
+// Unlike classic FastTrack, an ordered read from a second thread still
+// escalates rather than replacing the pair: replacement forgets reads that
+// a later racing write should report (the race would still be *detected*
+// through the surviving read, but the set of reported access pairs would
+// change, and the differential oracle and recorded demos pin those reports
+// exactly).
 type Shadow struct {
 	writeTID   TID
 	writeEpoch vclock.Epoch
-	reads      vclock.Clock
+	// readTID/readEpoch track reads since the last write while only one
+	// thread has read (readEpoch 0 = no reads). readShared supersedes the
+	// pair once a second thread reads; OnWrite returns it to the pool.
+	readTID    TID
+	readEpoch  vclock.Epoch
+	readShared *vclock.Clock
 }
 
 // AccessKind classifies the two sides of a race report.
@@ -37,7 +53,21 @@ func (d *Detector) OnRead(sh *Shadow, tid TID, name string) {
 		d.report(name, Access{TID: sh.writeTID, Epoch: sh.writeEpoch, Kind: KindWrite},
 			Access{TID: tid, Epoch: c.Get(tid), Kind: KindRead})
 	}
-	sh.reads.Set(tid, c.Get(tid))
+	e := c.Get(tid)
+	if sh.readShared != nil {
+		sh.readShared.Set(tid, e)
+		return
+	}
+	if sh.readEpoch == 0 || sh.readTID == tid {
+		sh.readTID, sh.readEpoch = tid, e
+		return
+	}
+	// Second distinct reading thread: escalate to a full read clock.
+	rc := d.getReadClock()
+	rc.Set(sh.readTID, sh.readEpoch)
+	rc.Set(tid, e)
+	sh.readShared = rc
+	sh.readEpoch = 0
 }
 
 // OnWrite checks a non-atomic write of the location named name by tid and
@@ -49,15 +79,23 @@ func (d *Detector) OnWrite(sh *Shadow, tid TID, name string) {
 		d.report(name, Access{TID: sh.writeTID, Epoch: sh.writeEpoch, Kind: KindWrite},
 			Access{TID: tid, Epoch: c.Get(tid), Kind: KindWrite})
 	}
-	for i := 0; i < sh.reads.Len(); i++ {
-		rt := TID(i)
-		re := sh.reads.Get(rt)
-		if re != 0 && rt != tid && !vclock.HappensBefore(rt, re, c) {
-			d.report(name, Access{TID: rt, Epoch: re, Kind: KindRead},
-				Access{TID: tid, Epoch: c.Get(tid), Kind: KindWrite})
+	if rc := sh.readShared; rc != nil {
+		for i := 0; i < rc.Len(); i++ {
+			rt := TID(i)
+			re := rc.Get(rt)
+			if re != 0 && rt != tid && !vclock.HappensBefore(rt, re, c) {
+				d.report(name, Access{TID: rt, Epoch: re, Kind: KindRead},
+					Access{TID: tid, Epoch: c.Get(tid), Kind: KindWrite})
+			}
 		}
+		d.putReadClock(rc)
+		sh.readShared = nil
+	} else if sh.readEpoch != 0 && sh.readTID != tid &&
+		!vclock.HappensBefore(sh.readTID, sh.readEpoch, c) {
+		d.report(name, Access{TID: sh.readTID, Epoch: sh.readEpoch, Kind: KindRead},
+			Access{TID: tid, Epoch: c.Get(tid), Kind: KindWrite})
 	}
 	sh.writeTID = tid
 	sh.writeEpoch = c.Get(tid)
-	sh.reads = vclock.Clock{}
+	sh.readTID, sh.readEpoch = 0, 0
 }

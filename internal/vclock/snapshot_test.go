@@ -1,0 +1,227 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestLessEqEdgeCases pins the partial-order corner cases the detector
+// relies on: nil clocks are empty, comparisons are length-agnostic, and
+// trailing zero epochs never make a clock "bigger".
+func TestLessEqEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *Clock
+		want bool
+	}{
+		{"nil <= nil", nil, nil, true},
+		{"nil <= empty", nil, &Clock{}, true},
+		{"empty <= nil", &Clock{}, nil, true},
+		{"nil <= nonzero", nil, fromSlice([]Epoch{1}), true},
+		{"nonzero <= nil", fromSlice([]Epoch{1}), nil, false},
+		{"trailing zeros <= nil", fromSlice([]Epoch{0, 0, 0}), nil, true},
+		{"trailing zeros <= empty", fromSlice([]Epoch{0, 0, 0}), &Clock{}, true},
+		{"empty <= trailing zeros", &Clock{}, fromSlice([]Epoch{0, 0, 0}), true},
+		{"shorter <= longer dominating", fromSlice([]Epoch{1, 2}), fromSlice([]Epoch{1, 2, 3}), true},
+		{"longer with zero tail <= shorter", fromSlice([]Epoch{1, 2, 0}), fromSlice([]Epoch{1, 2}), true},
+		{"longer with nonzero tail <= shorter", fromSlice([]Epoch{1, 2, 1}), fromSlice([]Epoch{1, 2}), false},
+		{"equal", fromSlice([]Epoch{3, 1}), fromSlice([]Epoch{3, 1}), true},
+		{"strictly less", fromSlice([]Epoch{2, 1}), fromSlice([]Epoch{3, 1}), true},
+		{"incomparable", fromSlice([]Epoch{2, 5}), fromSlice([]Epoch{3, 1}), false},
+		{"zero hole ignored", fromSlice([]Epoch{0, 5}), fromSlice([]Epoch{9, 5}), true},
+	}
+	for _, tc := range cases {
+		if got := tc.a.LessEq(tc.b); got != tc.want {
+			t.Errorf("%s: LessEq = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestConcurrentEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *Clock
+		want bool
+	}{
+		{"nil vs nil", nil, nil, false},
+		{"nil vs nonzero", nil, fromSlice([]Epoch{1}), false},
+		{"nonzero vs nil", fromSlice([]Epoch{1}), nil, false},
+		{"ordered", fromSlice([]Epoch{1, 1}), fromSlice([]Epoch{2, 1}), false},
+		{"equal", fromSlice([]Epoch{2, 2}), fromSlice([]Epoch{2, 2}), false},
+		{"incomparable", fromSlice([]Epoch{2, 1}), fromSlice([]Epoch{1, 2}), true},
+		{"incomparable across lengths", fromSlice([]Epoch{0, 0, 1}), fromSlice([]Epoch{1}), true},
+		{"trailing zeros not concurrent", fromSlice([]Epoch{1, 0, 0}), fromSlice([]Epoch{1}), false},
+	}
+	for _, tc := range cases {
+		if got := Concurrent(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: Concurrent = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := Concurrent(tc.b, tc.a); got != tc.want {
+			t.Errorf("%s (swapped): Concurrent = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSnapshotImmutableUnderOwnerMutation is the core copy-on-write
+// contract: a snapshot keeps reading the clock's value as of capture no
+// matter how the owner's clock evolves afterwards.
+func TestSnapshotImmutableUnderOwnerMutation(t *testing.T) {
+	c := fromSlice([]Epoch{0, 3, 7})
+	c.Set(0, 5)
+	s := c.Snapshot(0)
+
+	c.Tick(0)                           // in-place own tick (exempt from CoW)
+	c.Join(fromSlice([]Epoch{9, 9, 9})) // foreign mutation (must CoW)
+	c.Set(2, 20)
+
+	want := []Epoch{5, 3, 7}
+	for i, w := range want {
+		if got := s.Get(TID(i)); got != w {
+			t.Errorf("snapshot[%d] = %d after owner mutations, want %d", i, got, w)
+		}
+	}
+	if c.Get(0) != 9 || c.Get(2) != 20 {
+		t.Errorf("owner clock corrupted by snapshot: %v", c)
+	}
+}
+
+// TestSnapshotStampedOwnerEpoch: the owner's own entry is stamped at
+// capture, so the exempt in-place Tick never leaks into the snapshot.
+func TestSnapshotStampedOwnerEpoch(t *testing.T) {
+	c := &Clock{}
+	c.Tick(1) // epoch 1
+	s1 := c.Snapshot(1)
+	c.Tick(1) // epoch 2, in place — same backing array
+	s2 := c.Snapshot(1)
+	c.Tick(1) // epoch 3
+
+	if s1.Get(1) != 1 {
+		t.Errorf("first snapshot owner epoch = %d, want 1", s1.Get(1))
+	}
+	if s2.Get(1) != 2 {
+		t.Errorf("second snapshot owner epoch = %d, want 2", s2.Get(1))
+	}
+}
+
+// TestSnapshotOwnerChangeUnshares: re-snapshotting under a different owner
+// tid must not let that owner's in-place ticks corrupt earlier snapshots.
+func TestSnapshotOwnerChangeUnshares(t *testing.T) {
+	c := fromSlice([]Epoch{1, 1})
+	s1 := c.Snapshot(0)
+	_ = c.Snapshot(1) // new owner: storage must be severed from s1
+	c.Tick(1)         // in place for owner 1
+	if s1.Get(1) != 1 {
+		t.Errorf("snapshot under old owner saw new owner's tick: %d", s1.Get(1))
+	}
+}
+
+// TestJoinSnapshotMatchesJoinOfCopy: acquiring via a snapshot must be
+// observationally identical to the old deep-copy path.
+func TestJoinSnapshotMatchesJoinOfCopy(t *testing.T) {
+	prop := func(xs, ys []uint8, ticks uint8) bool {
+		src := clockOf(xs)
+		src.Tick(0)
+		viaCopy := clockOf(ys)
+		viaSnap := clockOf(ys)
+
+		cp := src.Copy()
+		s := src.Snapshot(0)
+		// Mutate the source after capture, as the detector does between a
+		// release and the eventual acquire.
+		for i := 0; i < int(ticks%8); i++ {
+			src.Tick(0)
+		}
+		src.Join(clockOf(xs))
+
+		viaCopy.Join(cp)
+		viaSnap.JoinSnapshot(s)
+		return viaCopy.LessEq(viaSnap) && viaSnap.LessEq(viaCopy)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := fromSlice([]Epoch{1, 5})
+	a.Tick(0) // a = [2 5]
+	sa := a.Snapshot(0)
+	b := fromSlice([]Epoch{4, 1, 3})
+	sb := b.Snapshot(1)
+	m := MergeSnapshots(sa, sb)
+	want := []Epoch{4, 5, 3}
+	for i, w := range want {
+		if got := m.Get(TID(i)); got != w {
+			t.Errorf("merge[%d] = %d, want %d", i, got, w)
+		}
+	}
+	if m.IsZero() {
+		t.Error("materialised merge reported zero")
+	}
+	// The merge owns its storage: mutating the sources afterwards must not
+	// show through.
+	a.Join(fromSlice([]Epoch{9, 9, 9}))
+	b.Set(2, 9)
+	if m.Get(2) != 3 {
+		t.Errorf("merge aliased source storage: got %d", m.Get(2))
+	}
+}
+
+func TestSnapshotIsZero(t *testing.T) {
+	var zero Snapshot
+	if !zero.IsZero() {
+		t.Error("zero Snapshot not IsZero")
+	}
+	c := &Clock{}
+	c.Tick(3)
+	if c.Snapshot(3).IsZero() {
+		t.Error("snapshot of ticked clock reported zero")
+	}
+}
+
+// TestResetRegrowZeroes: pooled clocks are Reset then regrown in place;
+// the re-exposed tail must read as zero, not as stale epochs.
+func TestResetRegrowZeroes(t *testing.T) {
+	c := fromSlice([]Epoch{7, 8, 9})
+	c.Reset()
+	c.Set(1, 4)
+	want := []Epoch{0, 4, 0}
+	for i, w := range want {
+		if got := c.Get(TID(i)); got != w {
+			t.Errorf("after Reset+Set, clock[%d] = %d, want %d (stale epoch leak)", i, got, w)
+		}
+	}
+}
+
+// TestResetLeavesSnapshotsIntact: Reset while shared must hand the storage
+// to the snapshots rather than zeroing it under them.
+func TestResetLeavesSnapshotsIntact(t *testing.T) {
+	c := fromSlice([]Epoch{2, 3})
+	s := c.Snapshot(0)
+	c.Reset()
+	c.Set(1, 9)
+	if s.Get(0) != 2 || s.Get(1) != 3 {
+		t.Errorf("Reset clobbered outstanding snapshot: %v", s)
+	}
+}
+
+func TestGenChangesOnMutation(t *testing.T) {
+	c := &Clock{}
+	g := c.Gen()
+	c.Tick(0)
+	if c.Gen() == g {
+		t.Error("Tick did not change Gen")
+	}
+	g = c.Gen()
+	c.Join(fromSlice([]Epoch{5}))
+	if c.Gen() == g {
+		t.Error("Join did not change Gen")
+	}
+	g = c.Gen()
+	if c.Get(0) != 5 {
+		t.Fatalf("unexpected clock %v", c)
+	}
+	if c.Gen() != g {
+		t.Error("Get changed Gen")
+	}
+}

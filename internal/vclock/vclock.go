@@ -5,6 +5,16 @@
 // A clock maps thread IDs to epochs. Thread IDs are small dense integers
 // assigned by the scheduler, so clocks are slices indexed by TID. Clocks grow
 // on demand; absent entries are epoch 0.
+//
+// The detector's release operations publish immutable Snapshots of a
+// thread's clock instead of deep copies. A Snapshot aliases the clock's
+// storage copy-on-write: the clock marks itself shared when snapshotted and
+// copies its storage before the next mutation that a snapshot could
+// observe. The one mutation exempted is the owner ticking its own entry —
+// the snapshot stamps the owner's epoch at capture time and overrides that
+// slot on every read — which is what makes a release-store loop allocation
+// free: each store shares storage and only the 3-word Snapshot header (a
+// value, not a pointer) is copied around.
 package vclock
 
 import (
@@ -23,6 +33,14 @@ type Epoch uint64
 // and is ready to use.
 type Clock struct {
 	epochs []Epoch
+	// gen counts mutations; release paths use it to share one snapshot
+	// per epoch ("generation-stamped": a cached snapshot is valid exactly
+	// while gen is unchanged).
+	gen uint64
+	// shared marks epochs as aliased by at least one Snapshot: the next
+	// mutation of any entry other than snapTID's must copy first.
+	shared  bool
+	snapTID TID
 }
 
 // New returns a clock pre-sized for n threads. Sizes are hints only; all
@@ -39,16 +57,42 @@ func (c *Clock) Get(tid TID) Epoch {
 	return c.epochs[tid]
 }
 
+// Gen returns the clock's mutation generation. It changes on every Set,
+// Tick, Join, Assign or Reset, so equal generations mean an unchanged
+// clock; release paths key their shared snapshots on it.
+func (c *Clock) Gen() uint64 { return c.gen }
+
+// unshare severs outstanding snapshots from the clock's storage by copying
+// it. Called before any mutation a snapshot could observe.
+func (c *Clock) unshare() {
+	dup := make([]Epoch, len(c.epochs))
+	copy(dup, c.epochs)
+	c.epochs = dup
+	c.shared = false
+}
+
+// own prepares entry tid for an in-place write. The owner's own entry is
+// exempt from copy-on-write because snapshots stamp it at capture time.
+func (c *Clock) own(tid TID) {
+	if c.shared && tid != c.snapTID {
+		c.unshare()
+	}
+}
+
 // Set records epoch e for tid, growing the clock if needed.
 func (c *Clock) Set(tid TID, e Epoch) {
+	c.own(tid)
 	c.grow(int(tid) + 1)
 	c.epochs[tid] = e
+	c.gen++
 }
 
 // Tick increments tid's epoch and returns the new value.
 func (c *Clock) Tick(tid TID) Epoch {
+	c.own(tid)
 	c.grow(int(tid) + 1)
 	c.epochs[tid]++
+	c.gen++
 	return c.epochs[tid]
 }
 
@@ -57,12 +101,20 @@ func (c *Clock) grow(n int) {
 		return
 	}
 	if n <= cap(c.epochs) {
+		// Storage reused after a Reset may hold stale epochs beyond the
+		// current length; re-zero what the extension exposes. Snapshots
+		// never observe this region — their length was fixed at capture.
+		tail := c.epochs[len(c.epochs):n]
+		for i := range tail {
+			tail[i] = 0
+		}
 		c.epochs = c.epochs[:n]
 		return
 	}
 	grown := make([]Epoch, n, 2*n)
 	copy(grown, c.epochs)
 	c.epochs = grown
+	c.shared = false
 }
 
 // Join merges other into c, taking the pointwise maximum. Join implements
@@ -71,21 +123,42 @@ func (c *Clock) Join(other *Clock) {
 	if other == nil {
 		return
 	}
+	if c.shared {
+		c.unshare()
+	}
 	c.grow(len(other.epochs))
 	for i, e := range other.epochs {
 		if e > c.epochs[i] {
 			c.epochs[i] = e
 		}
 	}
+	c.gen++
 }
 
 // Assign overwrites c with a copy of other.
 func (c *Clock) Assign(other *Clock) {
+	if c.shared {
+		// Dropping the storage (rather than truncating it) leaves the
+		// snapshots sole owners.
+		c.epochs = nil
+		c.shared = false
+	}
 	if other == nil {
 		c.epochs = c.epochs[:0]
-		return
+	} else {
+		c.epochs = append(c.epochs[:0], other.epochs...)
 	}
-	c.epochs = append(c.epochs[:0], other.epochs...)
+	c.gen++
+}
+
+// Reset clears the clock to all-zero epochs, retaining storage for reuse.
+func (c *Clock) Reset() {
+	if c.shared {
+		c.epochs = nil
+		c.shared = false
+	}
+	c.epochs = c.epochs[:0]
+	c.gen++
 }
 
 // Copy returns an independent copy of c.
@@ -96,8 +169,13 @@ func (c *Clock) Copy() *Clock {
 }
 
 // LessEq reports whether c happens-before-or-equals other, i.e. every epoch
-// in c is <= the corresponding epoch in other.
+// in c is <= the corresponding epoch in other. A nil clock is the empty
+// clock: nil.LessEq(x) is always true, and x.LessEq(nil) is true exactly
+// when x carries no nonzero epoch (trailing zeros do not count).
 func (c *Clock) LessEq(other *Clock) bool {
+	if c == nil {
+		return true
+	}
 	for i, e := range c.epochs {
 		if e == 0 {
 			continue
@@ -116,7 +194,8 @@ func HappensBefore(tid TID, e Epoch, other *Clock) bool {
 	return e <= other.Get(tid)
 }
 
-// Concurrent reports whether the two clocks are incomparable.
+// Concurrent reports whether the two clocks are incomparable. Nil clocks
+// are empty and therefore ordered below everything, never concurrent.
 func Concurrent(a, b *Clock) bool {
 	return !a.LessEq(b) && !b.LessEq(a)
 }
@@ -133,6 +212,122 @@ func (c *Clock) String() string {
 			sb.WriteByte(' ')
 		}
 		fmt.Fprintf(&sb, "%d", e)
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Snapshot is an immutable view of a clock at a point in time, shared by
+// value: release stores, fences and mutex release edges all publish the
+// same snapshot for as long as the owning thread's clock is unchanged.
+// The zero Snapshot means "no clock" (IsZero reports it).
+//
+// A snapshot taken with Clock.Snapshot(tid) stays valid however the owner
+// clock evolves: entry tid is stamped at capture (the owner may keep
+// ticking it in place), and every other entry is protected by the clock's
+// copy-on-write.
+type Snapshot struct {
+	epochs []Epoch
+	// tid's entry reads as epoch regardless of the (possibly since
+	// advanced) aliased storage; -1 for materialised snapshots with no
+	// override (merges).
+	tid   TID
+	epoch Epoch
+}
+
+// Snapshot captures the clock's current value as an immutable snapshot.
+// tid must be the clock's owning thread — the only index the caller will
+// keep ticking in place. All other entries trigger copy-on-write.
+func (c *Clock) Snapshot(tid TID) Snapshot {
+	if c.shared && c.snapTID != tid {
+		// Outstanding snapshots stamped a different owner; give them the
+		// storage and restart sharing under the new owner.
+		c.unshare()
+	}
+	c.shared = true
+	c.snapTID = tid
+	return Snapshot{epochs: c.epochs, tid: tid, epoch: c.Get(tid)}
+}
+
+// IsZero reports whether s is the zero "no clock" snapshot. A snapshot of
+// a completely empty clock is also zero; thread clocks always carry the
+// owner's epoch >= 1, so their snapshots never are.
+func (s Snapshot) IsZero() bool { return s.epochs == nil && s.epoch == 0 && s.tid == 0 }
+
+// Get returns the epoch recorded for tid at capture time.
+func (s Snapshot) Get(tid TID) Epoch {
+	if s.tid >= 0 && tid == s.tid {
+		return s.epoch
+	}
+	if int(tid) >= len(s.epochs) {
+		return 0
+	}
+	return s.epochs[tid]
+}
+
+// Len returns the number of thread slots the snapshot covers.
+func (s Snapshot) Len() int {
+	n := len(s.epochs)
+	if s.tid >= 0 && int(s.tid)+1 > n {
+		n = int(s.tid) + 1
+	}
+	return n
+}
+
+// JoinSnapshot merges a snapshot into c, taking the pointwise maximum: the
+// acquire side of snapshot-published synchronisation.
+func (c *Clock) JoinSnapshot(s Snapshot) {
+	if s.IsZero() {
+		return
+	}
+	if c.shared {
+		c.unshare()
+	}
+	c.grow(s.Len())
+	for i, e := range s.epochs {
+		if i == int(s.tid) {
+			continue
+		}
+		if e > c.epochs[i] {
+			c.epochs[i] = e
+		}
+	}
+	if s.tid >= 0 && s.epoch > c.epochs[s.tid] {
+		c.epochs[s.tid] = s.epoch
+	}
+	c.gen++
+}
+
+// MergeSnapshots returns the pointwise maximum of two snapshots as a new
+// materialised snapshot (owned storage, no override). Used when an RMW
+// continues a release sequence: its release clock is the join of its own
+// release with the replaced store's.
+func MergeSnapshots(a, b Snapshot) Snapshot {
+	n := a.Len()
+	if bl := b.Len(); bl > n {
+		n = bl
+	}
+	es := make([]Epoch, n)
+	for i := range es {
+		ea, eb := a.Get(TID(i)), b.Get(TID(i))
+		if ea > eb {
+			es[i] = ea
+		} else {
+			es[i] = eb
+		}
+	}
+	return Snapshot{epochs: es, tid: -1}
+}
+
+// String renders the snapshot's effective value for diagnostics.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < s.Len(); i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", s.Get(TID(i)))
 	}
 	sb.WriteByte(']')
 	return sb.String()
