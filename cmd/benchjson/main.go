@@ -19,11 +19,16 @@ import (
 	"strconv"
 )
 
-// Result is one benchmark line.
+// Result is one benchmark line. BytesPerOp/AllocsPerOp are present only
+// when the run used -benchmem; they are pointers so that a genuine
+// measured zero (the detector release path's target) survives JSON
+// round-tripping distinct from "not measured".
 type Result struct {
-	Name    string  `json:"name"`
-	Iters   int64   `json:"iterations"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string   `json:"name"`
+	Iters       int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Point is one trajectory entry: every benchmark of one run.
@@ -33,7 +38,8 @@ type Point struct {
 	Results []Result `json:"results"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op` +
+	`(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 func run(in io.Reader, out io.Writer, date, commit string) error {
 	p := Point{Date: date, Commit: commit}
@@ -51,7 +57,20 @@ func run(in io.Reader, out io.Writer, date, commit string) error {
 		if err != nil {
 			return fmt.Errorf("benchjson: bad ns/op in %q: %v", sc.Text(), err)
 		}
-		p.Results = append(p.Results, Result{Name: m[1], Iters: iters, NsPerOp: ns})
+		r := Result{Name: m[1], Iters: iters, NsPerOp: ns}
+		if m[4] != "" {
+			bytesOp, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return fmt.Errorf("benchjson: bad B/op in %q: %v", sc.Text(), err)
+			}
+			allocsOp, err := strconv.ParseFloat(m[5], 64)
+			if err != nil {
+				return fmt.Errorf("benchjson: bad allocs/op in %q: %v", sc.Text(), err)
+			}
+			r.BytesPerOp = &bytesOp
+			r.AllocsPerOp = &allocsOp
+		}
+		p.Results = append(p.Results, r)
 	}
 	if err := sc.Err(); err != nil {
 		return err
