@@ -164,6 +164,7 @@ func New(opts Options) (*Runtime, error) {
 		rt.det = tsan.New(prng.New(seed1, seed2), tsan.Options{
 			HistoryDepth:          opts.HistoryDepth,
 			SequentialConsistency: opts.SequentialConsistency,
+			Sharing:               opts.Sharing,
 		})
 		rt.det.SetReporting(opts.ReportRaces)
 		rt.det.SetTrace(rt.tr)
@@ -221,6 +222,7 @@ func New(opts Options) (*Runtime, error) {
 	rt.det = tsan.New(s.Rand(), tsan.Options{
 		HistoryDepth:          opts.HistoryDepth,
 		SequentialConsistency: opts.SequentialConsistency,
+		Sharing:               opts.Sharing,
 	})
 	rt.det.SetReporting(opts.ReportRaces)
 	rt.det.SetTrace(rt.tr)

@@ -162,17 +162,26 @@ type Var[V any] struct {
 	rt     *Runtime
 	name   string
 	shadow tsan.Shadow
+	claim  tsan.LocalClaim
+	local  bool
 	v      V
 }
 
-// NewVar creates a race-checked non-atomic location.
+// NewVar creates a race-checked non-atomic location. When the runtime was
+// given a sparsity report (Options.Sharing) that proves every creation
+// site of this name single-thread-reachable, accesses skip the detector —
+// no detMu, no shadow state — behind the per-instance claim check.
 func NewVar[V any](rt *Runtime, name string, init V) *Var[V] {
-	return &Var[V]{rt: rt, name: name, v: init}
+	return &Var[V]{rt: rt, name: name, v: init, local: rt.det.StaticLocal(name)}
 }
 
 // Read returns the value, reporting a race if it conflicts with a
 // concurrent write.
 func (x *Var[V]) Read(t *Thread) V {
+	if x.local {
+		x.rt.det.OnLocalAccess(&x.claim, t.id, x.name)
+		return x.v
+	}
 	x.rt.detMu.Lock()
 	if !x.rt.opts.DisableRaces {
 		x.rt.det.OnRead(&x.shadow, t.id, x.name)
@@ -185,6 +194,11 @@ func (x *Var[V]) Read(t *Thread) V {
 // Write stores a value, reporting a race if it conflicts with a concurrent
 // access.
 func (x *Var[V]) Write(t *Thread, v V) {
+	if x.local {
+		x.rt.det.OnLocalAccess(&x.claim, t.id, x.name)
+		x.v = v
+		return
+	}
 	x.rt.detMu.Lock()
 	if !x.rt.opts.DisableRaces {
 		x.rt.det.OnWrite(&x.shadow, t.id, x.name)
@@ -195,6 +209,11 @@ func (x *Var[V]) Write(t *Thread, v V) {
 
 // Update applies fn to the value in place (a read and a write).
 func (x *Var[V]) Update(t *Thread, fn func(V) V) {
+	if x.local {
+		x.rt.det.OnLocalAccess(&x.claim, t.id, x.name)
+		x.v = fn(x.v)
+		return
+	}
 	x.rt.detMu.Lock()
 	if !x.rt.opts.DisableRaces {
 		x.rt.det.OnRead(&x.shadow, t.id, x.name)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/demo"
 	"repro/internal/env"
 	"repro/internal/obs"
+	"repro/internal/tsan"
 )
 
 // Options configures a Runtime. Most call sites want one of the preset
@@ -97,6 +98,14 @@ type Options struct {
 	// visible operations by kind, scheduler decisions by strategy, demo
 	// bytes by stream, desync counts and run durations.
 	Metrics *obs.Metrics
+	// Sharing is the static sparsity report produced by
+	// `tsanvet -sharing out.json`. Vars whose every creation site the
+	// threadlocal analyzer proved single-thread-reachable skip the
+	// detector's shadow path entirely, guarded by a per-instance dynamic
+	// claim check: a second thread touching a claimed-local Var is a hard
+	// error (tsan.SparsityViolation) rather than a silently dropped race.
+	// Nil disables the fast path.
+	Sharing *tsan.SharingReport
 }
 
 // RecordOptions returns the standard find-and-record configuration: the

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/tsan"
+)
+
+// localReport builds a sharing report claiming each named variable is
+// thread-local, standing in for `tsanvet -sharing` output in tests.
+func localReport(names ...string) *tsan.SharingReport {
+	r := &tsan.SharingReport{Module: "repro", Tool: "tsanvet/threadlocal"}
+	for _, n := range names {
+		r.Entries = append(r.Entries, tsan.SharingEntry{Name: n, Kind: "var", Local: true})
+	}
+	return r
+}
+
+// TestSparsityCorrectReport: a report that correctly marks a genuinely
+// thread-local variable lets the program run clean on the no-shadow fast
+// path, while the shared variable it leaves out stays fully instrumented.
+func TestSparsityCorrectReport(t *testing.T) {
+	rt := newTestRuntime(t, Options{Strategy: demo.StrategyRandom, Seed1: 11, Seed2: 12,
+		ReportRaces: true, Sharing: localReport("scratch")})
+	rep, err := rt.Run(func(main *Thread) {
+		shared := NewVar(rt, "shared", 0)
+		mu := rt.NewMutex("mu")
+		h := main.Spawn("w", func(w *Thread) {
+			scratch := NewVar(rt, "scratch", 0)
+			scratch.Write(w, scratch.Read(w)+1)
+			mu.Lock(w)
+			shared.Write(w, 1)
+			mu.Unlock(w)
+		})
+		mu.Lock(main)
+		shared.Write(main, 2)
+		mu.Unlock(main)
+		main.Join(h)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.RaceCount() != 0 {
+		t.Errorf("unexpected races: %v", rep.Races)
+	}
+}
+
+// TestSparsityWrongReportFailsHard: a stale report claiming a shared
+// variable is local must not silently skip detection — the dynamic claim
+// check aborts the run with an error naming the variable and the analyzer.
+func TestSparsityWrongReportFailsHard(t *testing.T) {
+	rt := newTestRuntime(t, Options{Strategy: demo.StrategyRandom, Seed1: 11, Seed2: 12,
+		ReportRaces: true, Sharing: localReport("shared")})
+	_, err := rt.Run(func(main *Thread) {
+		shared := NewVar(rt, "shared", 0)
+		h := main.Spawn("w", func(w *Thread) {
+			shared.Write(w, 1)
+		})
+		shared.Write(main, 2)
+		main.Join(h)
+	})
+	if err == nil {
+		t.Fatal("second thread on a claimed-local variable did not abort the run")
+	}
+	for _, frag := range []string{`"shared"`, "threadlocal", "sparsity violation"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error does not mention %q: %v", frag, err)
+		}
+	}
+}
+
+// TestSparsityNoReportDetectsRace is the companion to the wrong-report
+// test: the same racy program without any sharing report keeps the full
+// instrumented path and the race is found, proving the fast path (not the
+// detector) is what the report toggles.
+func TestSparsityNoReportDetectsRace(t *testing.T) {
+	found := 0
+	for seed := uint64(0); seed < 20; seed++ {
+		rt := newTestRuntime(t, Options{Strategy: demo.StrategyRandom, Seed1: seed, Seed2: seed + 1, ReportRaces: true})
+		rep, err := rt.Run(func(main *Thread) {
+			shared := NewVar(rt, "shared", 0)
+			h := main.Spawn("w", func(w *Thread) {
+				shared.Write(w, 1)
+			})
+			shared.Write(main, 2)
+			main.Join(h)
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if rep.RaceCount() > 0 {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Error("race never detected without a sharing report across 20 seeds")
+	}
+}

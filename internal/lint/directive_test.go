@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseDirs parses src as one file and returns its directives.
+func parseDirs(t *testing.T, src string) []*directive {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("fixture does not parse: %v", err)
+	}
+	return parseDirectives(fset, []*ast.File{file})
+}
+
+// TestDirectiveEdgeCases drives parseDirectives over minimal sources,
+// pinning the failure modes a fixture package cannot host (each would make
+// the fixture itself fail TestAnalyzersOnFixtures): missing justifications,
+// unknown checks, and directives stranded on their own line with nothing
+// to attach to.
+func TestDirectiveEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// substring of the malformed reason; "" = well-formed
+		malformed string
+		// expected attachment span start line, 0 = don't check
+		spanLine int
+	}{
+		{
+			name: "external missing justification",
+			src: `package p
+func f() {
+	_ = 1 //tsanrec:external
+}`,
+			malformed: "requires a justification",
+		},
+		{
+			name: "allow missing justification",
+			src: `package p
+func f() {
+	_ = 1 //tsanrec:allow(rawgo)
+}`,
+			malformed: "requires a justification",
+		},
+		{
+			name: "allow unknown check",
+			src: `package p
+func f() {
+	_ = 1 //tsanrec:allow(nosuchcheck) because reasons
+}`,
+			malformed: `unknown check "nosuchcheck"`,
+		},
+		{
+			name: "allow unclosed parenthesis",
+			src: `package p
+func f() {
+	_ = 1 //tsanrec:allow(rawgo reasons
+}`,
+			malformed: "missing the closing parenthesis",
+		},
+		{
+			name: "unknown verb",
+			src: `package p
+func f() {
+	_ = 1 //tsanrec:frobnicate reasons
+}`,
+			malformed: "unknown directive",
+		},
+		{
+			name: "directive on its own line with blank line after it",
+			src: `package p
+
+func f() {
+	//tsanrec:allow(rawgo) orphaned by the blank line
+
+	_ = 1
+}`,
+			malformed: "dangling directive",
+		},
+		{
+			name: "directive on the last line of a block",
+			src: `package p
+
+func f() {
+	_ = 1
+	//tsanrec:external nothing follows inside the block
+}`,
+			// The closing brace is not a candidate; nothing trails on the
+			// comment's line; next statement is two lines away: dangling.
+			malformed: "dangling directive",
+		},
+		{
+			name: "trailing directive binds to its statement",
+			src: `package p
+
+func f() {
+	_ = 1 //tsanrec:allow(rawgo) host-side helper
+}`,
+			spanLine: 4,
+		},
+		{
+			name: "preceding directive binds to the next line",
+			src: `package p
+
+//tsanrec:external models the outside world
+func f() {
+	_ = 1
+}`,
+			spanLine: 4,
+		},
+		{
+			name: "file-scope directive spans from line one",
+			src: `//tsanrec:external whole file is host-side driver code
+
+package p
+
+import "sync"
+
+var mu sync.Mutex
+`,
+			spanLine: 1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ds := parseDirs(t, c.src)
+			if len(ds) != 1 {
+				t.Fatalf("parsed %d directives, want 1", len(ds))
+			}
+			d := ds[0]
+			if c.malformed != "" {
+				if d.malformed == "" {
+					t.Fatalf("directive accepted, want malformed mentioning %q", c.malformed)
+				}
+				if !strings.Contains(d.malformed, c.malformed) {
+					t.Errorf("malformed = %q, want substring %q", d.malformed, c.malformed)
+				}
+				return
+			}
+			if d.malformed != "" {
+				t.Fatalf("directive rejected: %s", d.malformed)
+			}
+			if c.spanLine != 0 && d.spanStart.Line != c.spanLine {
+				t.Errorf("span starts at line %d, want %d", d.spanStart.Line, c.spanLine)
+			}
+		})
+	}
+}

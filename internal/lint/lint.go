@@ -77,8 +77,10 @@ func Analyzers() []Analyzer {
 		RawGo{},
 		RawSync{},
 		LockPair{},
+		LockOrder{},
 		JoinLeak{},
 		VarEscape{},
+		ThreadLocal{},
 	}
 }
 

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -91,6 +92,12 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		}
 		for _, kind := range []string{"bad", "clean"} {
 			dir := filepath.Join(src, checkDir.Name(), kind)
+			if _, err := os.Stat(dir); os.IsNotExist(err) {
+				// Some checks have only one side: threadlocal is a
+				// classifier whose "findings" are report entries, so it has
+				// no bad fixture.
+				continue
+			}
 			t.Run(checkDir.Name()+"/"+kind, func(t *testing.T) {
 				if err := prog.Load(dir, []string{dir}); err != nil {
 					t.Fatal(err)
@@ -126,6 +133,54 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestSharingReportBytes pins the threadlocal sparsity report for the
+// clean fixture at the analyzer layer: entry order (sorted by name), the
+// JSON field names, and the module-relative positions that make the bytes
+// machine-independent. cmd/tsanvet has a matching CLI-level golden.
+func TestSharingReportBytes(t *testing.T) {
+	root := moduleRootForTest(t)
+	prog, err := NewProgram(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", "threadlocal", "clean")
+	if err := prog.Load(dir, []string{dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(Sharing(prog), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+  "module": "repro",
+  "tool": "tsanvet/threadlocal",
+  "entries": [
+    {
+      "name": "clean.count",
+      "kind": "atomic64",
+      "pos": "internal/lint/testdata/src/threadlocal/clean/clean.go:19:13",
+      "local": true
+    },
+    {
+      "name": "clean.local",
+      "kind": "var",
+      "pos": "internal/lint/testdata/src/threadlocal/clean/clean.go:17:13",
+      "local": true
+    },
+    {
+      "name": "clean.shared",
+      "kind": "var",
+      "pos": "internal/lint/testdata/src/threadlocal/clean/clean.go:13:12",
+      "local": false,
+      "reason": "captured by a closure passed to Thread.Spawn, which runs on another thread"
+    }
+  ]
+}`
+	if string(data) != want {
+		t.Errorf("sharing report drifted\n--- got ---\n%s\n--- want ---\n%s", data, want)
 	}
 }
 
@@ -178,7 +233,7 @@ func TestAnalyzerNamesAreKnown(t *testing.T) {
 			t.Errorf("name %q not accepted by knownCheck", n)
 		}
 	}
-	for _, required := range []string{"rawgo", "rawsync", "lockpair", "joinleak", "varescape", CheckDirective} {
+	for _, required := range []string{"rawgo", "rawsync", "lockpair", "lockorder", "joinleak", "varescape", "threadlocal", CheckDirective} {
 		if !seen[required] {
 			t.Errorf("analyzer %q missing from AnalyzerNames", required)
 		}

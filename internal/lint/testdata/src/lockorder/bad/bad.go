@@ -1,0 +1,56 @@
+// Package bad is a lockorder fixture: an AB/BA deadlock whose A->B arc
+// runs through an interface call into a helper method — exercising the
+// CHA interface resolution, the interprocedural held-at-entry propagation,
+// and the struct-field lock-name binding at once.
+package bad
+
+import "repro/internal/core"
+
+type server struct {
+	a *core.Mutex
+	b *core.Mutex
+}
+
+func newServer(rt *core.Runtime) *server {
+	return &server{
+		a: rt.NewMutex("bad.a"),
+		b: rt.NewMutex("bad.b"),
+	}
+}
+
+// locker is the dynamic dispatch the deadlock hides behind: left never
+// names b, it just calls grab on an interface.
+type locker interface {
+	grab(t *core.Thread)
+}
+
+type bGrabber struct {
+	s *server
+}
+
+func (g bGrabber) grab(t *core.Thread) {
+	g.s.b.Lock(t) // want lockorder
+	g.s.b.Unlock(t)
+}
+
+// left acquires a, then (through the interface) b: the a -> b arc.
+func left(t *core.Thread, s *server, l locker) {
+	s.a.Lock(t)
+	l.grab(t)
+	s.a.Unlock(t)
+}
+
+// right acquires b, then a: the b -> a arc that closes the cycle.
+func right(t *core.Thread, s *server) {
+	s.b.Lock(t)
+	s.a.Lock(t)
+	s.a.Unlock(t)
+	s.b.Unlock(t)
+}
+
+// use keeps every piece reachable without spawning threads.
+func use(rt *core.Runtime, t *core.Thread) {
+	s := newServer(rt)
+	left(t, s, bGrabber{s: s})
+	right(t, s)
+}

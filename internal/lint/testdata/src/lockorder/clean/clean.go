@@ -1,0 +1,50 @@
+// Package clean is a lockorder fixture: consistently ordered
+// acquisitions produce no findings, and an intentional order reversal
+// carries a load-bearing //tsanrec:allow(lockorder) waiver.
+package clean
+
+import "repro/internal/core"
+
+// ordered acquires along the global order twice; same-direction edges
+// never form a cycle.
+func ordered(rt *core.Runtime, t *core.Thread) {
+	a := rt.NewMutex("clean.a")
+	b := rt.NewMutex("clean.b")
+	a.Lock(t)
+	b.Lock(t)
+	b.Unlock(t)
+	a.Unlock(t)
+	a.Lock(t)
+	b.Lock(t)
+	b.Unlock(t)
+	a.Unlock(t)
+}
+
+// nested acquires through a helper, still in one global order.
+func nested(rt *core.Runtime, t *core.Thread) {
+	outer := rt.NewMutex("clean.outer")
+	inner := rt.NewMutex("clean.inner")
+	outer.Lock(t)
+	takeInner(t, inner)
+	outer.Unlock(t)
+}
+
+func takeInner(t *core.Thread, inner *core.Mutex) {
+	inner.Lock(t)
+	inner.Unlock(t)
+}
+
+// reversed intentionally closes a cycle; the waiver keeps it out of the
+// report and proves the directive is load-bearing rather than stale.
+func reversed(rt *core.Runtime, t *core.Thread) {
+	c := rt.NewMutex("clean.c")
+	d := rt.NewMutex("clean.d")
+	c.Lock(t)
+	d.Lock(t)
+	d.Unlock(t)
+	c.Unlock(t)
+	d.Lock(t)
+	c.Lock(t) //tsanrec:allow(lockorder) fixture: deliberate reversed acquisition proving cycle waivers work
+	c.Unlock(t)
+	d.Unlock(t)
+}

@@ -1,0 +1,29 @@
+// Package clean is a threadlocal fixture: the classifier's three core
+// shapes. It produces no findings — sharing is not a defect — but its
+// sparsity report is pinned byte-for-byte by the analyzer tests.
+package clean
+
+import "repro/internal/core"
+
+// run creates one Var that is captured by a spawned closure (shared), one
+// Var that never leaves the spawned closure (local: each spawned thread
+// creates its own instance), and one atomic threaded through a direct
+// call (local: the callee keeps it on the same thread).
+func run(rt *core.Runtime) {
+	shared := core.NewVar(rt, "clean.shared", 0)
+	rt.Run(func(t *core.Thread) {
+		h := t.Spawn("worker", func(t *core.Thread) {
+			shared.Write(t, 1)
+			local := core.NewVar(t.Runtime(), "clean.local", 0)
+			local.Write(t, local.Read(t)+1)
+			count := t.NewAtomic64("clean.count", 0)
+			bump(t, count)
+		})
+		shared.Write(t, 2)
+		t.Join(h)
+	})
+}
+
+func bump(t *core.Thread, c *core.Atomic64) {
+	c.Add(t, 1, core.SeqCst)
+}

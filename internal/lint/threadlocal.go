@@ -1,0 +1,504 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ThreadLocal classifies every core.Var / core.Atomic64 / core.Atomic32 /
+// core.AtomicBool creation site as single-thread-reachable or shared, by
+// tracing the created instance through the call graph and Thread.Spawn
+// closures. The result is not a finding — sharing is not a defect — but a
+// machine-readable sparsity report (tsanvet -sharing out.json) that the
+// runtime consumes: the detector skips all shadow-state work for a
+// statically-thread-local variable, guarded by a dynamic cross-check that
+// turns any analysis bug into a hard error instead of a missed race.
+//
+// The analysis is a per-instance escape analysis, sound in the direction
+// that matters: a variable is local only when every use the analysis can
+// see provably stays on the creating thread; anything unrecognized —
+// captured by a spawned closure, stored into a field, global or container,
+// passed to an unresolvable call, address taken — demotes it to shared
+// with a reason. Creation inside a spawned closure is still local when the
+// instance never leaves the closure: each spawned thread creates its own
+// instance, so multiplicity of spawns cannot share one.
+type ThreadLocal struct{}
+
+// Name implements Analyzer.
+func (ThreadLocal) Name() string { return "threadlocal" }
+
+// Doc implements Analyzer.
+func (ThreadLocal) Doc() string {
+	return "classifies core.Var/Atomic creation sites as thread-local vs shared for the detector's sparsity report"
+}
+
+// Run implements Analyzer. Classification emits no findings; running the
+// analyzer still builds (and caches) the report so -sharing and the
+// analyzer share one computation.
+func (ThreadLocal) Run(prog *Program, pkg *Package) []Finding {
+	if prog.Framework(pkg) {
+		return nil
+	}
+	Sharing(prog)
+	return nil
+}
+
+// SharingReport is the machine-readable sparsity report: one entry per
+// core data-object creation site in the instrumented program. Its JSON
+// schema is mirrored by internal/tsan (the consumer) and pinned by golden
+// tests on both sides.
+type SharingReport struct {
+	Module  string         `json:"module"`
+	Tool    string         `json:"tool"`
+	Entries []SharingEntry `json:"entries"`
+}
+
+// SharingEntry classifies one creation site.
+type SharingEntry struct {
+	Name   string `json:"name"`             // constant name passed at creation
+	Kind   string `json:"kind"`             // "var", "atomic64", "atomic32", "atomicbool"
+	Pos    string `json:"pos"`              // module-relative file:line:col
+	Local  bool   `json:"local"`            // provably single-thread-reachable
+	Reason string `json:"reason,omitempty"` // why shared (empty when local)
+}
+
+// Sharing computes (and caches) the whole-program sparsity report.
+func Sharing(prog *Program) *SharingReport {
+	ix := prog.interState()
+	if ix.sharing == nil {
+		ix.sharing = ix.computeSharing()
+	}
+	return ix.sharing
+}
+
+// dataCreators are the constructors whose results the report classifies.
+var dataCreators = []struct {
+	recvType string // "" = package function
+	funcName string
+	nameArg  int
+	kind     string
+}{
+	{"", "NewVar", 1, "var"},
+	{"Runtime", "NewAtomic64", 0, "atomic64"},
+	{"Thread", "NewAtomic64", 0, "atomic64"},
+	{"Runtime", "NewAtomic32", 0, "atomic32"},
+	{"Thread", "NewAtomic32", 0, "atomic32"},
+	{"Runtime", "NewAtomicBool", 0, "atomicbool"},
+	{"Thread", "NewAtomicBool", 0, "atomicbool"},
+}
+
+// creation is one detected constructor call under classification.
+type creation struct {
+	name   string
+	kind   string
+	pos    string
+	local  bool
+	reason string
+}
+
+// shared demotes the creation with the first reason that applied.
+func (c *creation) shared(reason string) {
+	if c.local {
+		c.local = false
+		c.reason = reason
+	}
+}
+
+// binding is one (function, variable) pair through which a traced instance
+// is reachable.
+type binding struct {
+	fn  *funcNode
+	obj *types.Var
+}
+
+func (ix *interState) computeSharing() *SharingReport {
+	rep := &SharingReport{Module: ix.prog.ModulePath, Tool: "tsanvet/threadlocal"}
+	for _, fn := range ix.funcs {
+		if ix.prog.Framework(fn.pkg) {
+			continue
+		}
+		fn := fn
+		inspectOwn(fn, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			kind, nameArg, ok := ix.dataCreation(fn.pkg, call)
+			if !ok {
+				return
+			}
+			pos := ix.prog.position(call.Pos())
+			c := &creation{kind: kind, pos: ix.relPosCol(pos), local: true}
+			if name, ok := constStringArg(fn.pkg.Info, call, nameArg); ok {
+				c.name = name
+			} else {
+				c.name = "<dynamic>"
+				c.shared("name is not a compile-time constant, so the report cannot key it")
+			}
+			if c.local {
+				ix.traceCreation(fn, call, c)
+			}
+			rep.Entries = append(rep.Entries, SharingEntry{Name: c.name, Kind: c.kind,
+				Pos: c.pos, Local: c.local, Reason: c.reason})
+		})
+	}
+	sort.Slice(rep.Entries, func(i, j int) bool {
+		a, b := rep.Entries[i], rep.Entries[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Pos < b.Pos
+	})
+	return rep
+}
+
+// dataCreation reports whether call constructs a tracked data object.
+func (ix *interState) dataCreation(pkg *Package, call *ast.CallExpr) (kind string, nameArg int, ok bool) {
+	for _, c := range dataCreators {
+		if c.recvType != "" {
+			if _, m := methodOn(pkg.Info, call, "internal/core", c.recvType, c.funcName); m {
+				return c.kind, c.nameArg, true
+			}
+			continue
+		}
+		if f := calleeFuncObj(pkg.Info, call); f != nil && f.Name() == c.funcName &&
+			f.Pkg() != nil && pathHasSuffix(f.Pkg().Path(), "internal/core") {
+			return c.kind, c.nameArg, true
+		}
+	}
+	return "", 0, false
+}
+
+// traceCreation follows the instance produced by call through bindings,
+// calls and closures until it either proves thread-locality or finds an
+// escape.
+func (ix *interState) traceCreation(fn *funcNode, call *ast.CallExpr, c *creation) {
+	file := ix.fileOf[fn.node]
+	if file == nil {
+		c.shared("creation site has no enclosing file (analysis limitation)")
+		return
+	}
+	if target := bindTarget(fn.pkg, ix.parents[file], call); target != nil {
+		if !localVarOf(fn, target) {
+			c.shared(describeNonLocalTarget(target))
+			return
+		}
+		ix.traceBindings(binding{fn: fn, obj: target}, c)
+		return
+	}
+	// Not bound to a variable: the creation flows directly somewhere.
+	parent := ix.parents[file][call]
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		ix.flowIntoCall(fn, p, call, c)
+	case *ast.ReturnStmt:
+		ix.flowThroughReturn(fn, c)
+	case *ast.ExprStmt:
+		// Created and discarded: trivially local.
+	default:
+		c.shared("creation flows into an unanalyzed construct")
+	}
+}
+
+// traceBindings runs the worklist over (function, variable) pairs the
+// instance is bound to, classifying every use.
+func (ix *interState) traceBindings(start binding, c *creation) {
+	visited := map[binding]bool{start: true}
+	work := []binding{start}
+	for len(work) > 0 && c.local {
+		b := work[0]
+		work = work[1:]
+		more := ix.classifyUses(b, c)
+		for _, nb := range more {
+			if !visited[nb] {
+				visited[nb] = true
+				work = append(work, nb)
+			}
+		}
+	}
+}
+
+// classifyUses scans b.fn's body (including nested literals, which is
+// where captures show up) for uses of b.obj and classifies each one,
+// returning any new bindings the value propagates to.
+func (ix *interState) classifyUses(b binding, c *creation) []binding {
+	file := ix.fileOf[b.fn.node]
+	if file == nil {
+		c.shared("use in a function with no enclosing file (analysis limitation)")
+		return nil
+	}
+	parents := ix.parents[file]
+	var out []binding
+	ast.Inspect(b.fn.body, func(n ast.Node) bool {
+		if !c.local {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || b.fn.pkg.Info.Uses[id] != b.obj {
+			return true
+		}
+		if !ix.crossableClosures(b.fn, parents, id, c) {
+			return true
+		}
+		out = append(out, ix.classifyUse(b.fn, parents, id, c)...)
+		return true
+	})
+	return out
+}
+
+// crossableClosures inspects every function-literal boundary between a use
+// and its binding function. A capture is harmless only when each crossed
+// literal runs on the binding function's own thread: an immediately
+// invoked literal, or the body passed to Runtime.Run (the root thread). A
+// literal passed to Thread.Spawn runs on a NEW thread, and a literal that
+// escapes anywhere else may. Returns false (after demoting) when the use
+// already proves sharing.
+func (ix *interState) crossableClosures(fn *funcNode, parents parentMap, id *ast.Ident, c *creation) bool {
+	for cur := parents[id]; cur != nil && cur != fn.node; cur = parents[cur] {
+		lit, ok := cur.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		switch p := parents[lit].(type) {
+		case *ast.CallExpr:
+			if unparen(p.Fun) == lit {
+				continue // immediately invoked: same thread
+			}
+			if _, ok := methodOn(fn.pkg.Info, p, "internal/core", "Thread", "Spawn"); ok {
+				c.shared("captured by a closure passed to Thread.Spawn, which runs on another thread")
+				return false
+			}
+			if _, ok := methodOn(fn.pkg.Info, p, "internal/core", "Runtime", "Run"); ok {
+				continue // the root thread body: single consumer
+			}
+			c.shared("captured by a closure passed to an unanalyzed call")
+			return false
+		default:
+			c.shared("captured by a closure that escapes the creating function")
+			return false
+		}
+	}
+	return true
+}
+
+// classifyUse classifies one identifier use of the traced instance,
+// returning new bindings when the value flows into a call or return.
+func (ix *interState) classifyUse(fn *funcNode, parents parentMap, id *ast.Ident, c *creation) []binding {
+	parent := parents[id]
+	for {
+		p, ok := parent.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		parent = parents[p]
+	}
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X == id {
+			if call, ok := parents[p].(*ast.CallExpr); ok && unparen(call.Fun) == p {
+				return nil // method call on the instance: stays put
+			}
+			c.shared("a method value or field access leaks the instance")
+			return nil
+		}
+	case *ast.CallExpr:
+		if unparen(p.Fun) == id {
+			return nil // calling through it: not a data object, ignore
+		}
+		var out []binding
+		ix.flowIntoCallBindings(fn, p, id, c, &out)
+		return out
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if unparen(lhs) == id {
+				return nil // overwriting the variable: previous value dropped
+			}
+		}
+		for i, rhs := range p.Rhs {
+			if unparen(rhs) == id && len(p.Lhs) == len(p.Rhs) {
+				target := lvalueObj(fn.pkg, p.Lhs[i])
+				if target != nil && localVarOf(fn, target) {
+					return []binding{{fn: fn, obj: target}}
+				}
+				if target != nil && target.Name() == "_" {
+					return nil
+				}
+				c.shared(describeNonLocalTarget(target))
+				return nil
+			}
+		}
+		c.shared("assignment shape the analysis does not model")
+		return nil
+	case *ast.ValueSpec:
+		for i, v := range p.Values {
+			if unparen(v) == id && i < len(p.Names) {
+				if obj, ok := fn.pkg.Info.Defs[p.Names[i]].(*types.Var); ok && localVarOf(fn, obj) {
+					return []binding{{fn: fn, obj: obj}}
+				}
+				c.shared("declared into a non-local variable")
+				return nil
+			}
+		}
+	case *ast.ReturnStmt:
+		var out []binding
+		ix.flowThroughReturnBindings(fn, c, &out)
+		return out
+	case *ast.BinaryExpr:
+		return nil // comparison only
+	case *ast.ExprStmt:
+		return nil // bare expression statement
+	case *ast.UnaryExpr:
+		c.shared("address of the instance is taken")
+		return nil
+	}
+	c.shared("used in a construct the analysis does not model")
+	return nil
+}
+
+// flowIntoCall handles an unbound creation used directly as a call
+// argument.
+func (ix *interState) flowIntoCall(fn *funcNode, call *ast.CallExpr, arg ast.Expr, c *creation) {
+	var out []binding
+	ix.flowIntoCallArgBindings(fn, call, func(a ast.Expr) bool { return unparen(a) == arg }, c, &out)
+	ix.traceMany(out, c)
+}
+
+func (ix *interState) flowIntoCallBindings(fn *funcNode, call *ast.CallExpr, id *ast.Ident, c *creation, out *[]binding) {
+	ix.flowIntoCallArgBindings(fn, call, func(a ast.Expr) bool { return unparen(a) == id }, c, out)
+}
+
+// flowIntoCallArgBindings propagates an argument into every CHA candidate
+// of the call, binding the matching parameter. Calls the analysis cannot
+// fully resolve — stdlib, variadics, framework bodies — demote to shared.
+func (ix *interState) flowIntoCallArgBindings(fn *funcNode, call *ast.CallExpr, isArg func(ast.Expr) bool, c *creation, out *[]binding) {
+	argIdx := -1
+	for i, a := range call.Args {
+		if isArg(a) {
+			argIdx = i
+			break
+		}
+	}
+	if argIdx < 0 {
+		c.shared("argument position could not be determined")
+		return
+	}
+	callees, resolved := ix.callees(fn.pkg, call)
+	if !resolved {
+		c.shared("passed to a call outside the analyzed program")
+		return
+	}
+	if len(callees) == 0 {
+		c.shared("passed to a runtime/framework function the analysis does not trace")
+		return
+	}
+	for _, g := range callees {
+		if ix.prog.Framework(g.pkg) {
+			c.shared("passed into a runtime package")
+			return
+		}
+		sig := g.sig
+		if sig.Variadic() && argIdx >= sig.Params().Len()-1 {
+			c.shared("passed as a variadic argument")
+			return
+		}
+		if argIdx >= sig.Params().Len() {
+			c.shared("argument/parameter mismatch at an imprecise call")
+			return
+		}
+		param := sig.Params().At(argIdx)
+		if param.Name() == "" || param.Name() == "_" {
+			continue
+		}
+		*out = append(*out, binding{fn: g, obj: param})
+	}
+}
+
+// flowThroughReturn handles an unbound creation returned directly.
+func (ix *interState) flowThroughReturn(fn *funcNode, c *creation) {
+	var out []binding
+	ix.flowThroughReturnBindings(fn, c, &out)
+	ix.traceMany(out, c)
+}
+
+// flowThroughReturnBindings propagates a returned instance to every caller
+// that binds the single result to a local variable; any other consumption
+// shape demotes to shared.
+func (ix *interState) flowThroughReturnBindings(fn *funcNode, c *creation, out *[]binding) {
+	if fn.sig.Results().Len() != 1 {
+		c.shared("returned among multiple results")
+		return
+	}
+	callers := ix.callers[fn]
+	if len(callers) == 0 {
+		// No caller in the program reaches it (dead or entry code): the
+		// value goes nowhere.
+		return
+	}
+	for _, cr := range callers {
+		if ix.prog.Framework(cr.fn.pkg) {
+			c.shared("returned to a runtime package")
+			return
+		}
+		file := ix.fileOf[cr.fn.node]
+		if file == nil {
+			c.shared("returned to a caller with no enclosing file (analysis limitation)")
+			return
+		}
+		target := bindTarget(cr.fn.pkg, ix.parents[file], cr.call)
+		if target == nil || !localVarOf(cr.fn, target) {
+			c.shared("returned to a caller that does not bind it to a local variable")
+			return
+		}
+		*out = append(*out, binding{fn: cr.fn, obj: target})
+	}
+}
+
+// traceMany runs the binding worklist over several seeds.
+func (ix *interState) traceMany(seeds []binding, c *creation) {
+	for _, b := range seeds {
+		if !c.local {
+			return
+		}
+		ix.traceBindings(b, c)
+	}
+}
+
+// localVarOf reports whether obj is a plain local (or parameter) of fn —
+// not a field, not a package-level variable.
+func localVarOf(fn *funcNode, obj *types.Var) bool {
+	if obj.IsField() {
+		return false
+	}
+	if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+		return false // package scope
+	}
+	return obj.Pos() >= fn.node.Pos() && obj.Pos() <= fn.node.End()
+}
+
+func describeNonLocalTarget(obj *types.Var) string {
+	switch {
+	case obj == nil:
+		return "stored through an expression the analysis does not model"
+	case obj.IsField():
+		return fmt.Sprintf("stored into struct field %q, whose container may be shared", obj.Name())
+	case obj.Parent() != nil && obj.Parent().Parent() == types.Universe:
+		return fmt.Sprintf("stored into package-level variable %q", obj.Name())
+	default:
+		return fmt.Sprintf("stored into %q outside the creating function", obj.Name())
+	}
+}
+
+// relPosCol renders a position module-relative with column, the report's
+// stable creation-site key.
+func (ix *interState) relPosCol(p token.Position) string {
+	name := p.Filename
+	if rel, err := filepath.Rel(ix.prog.ModuleRoot, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d:%d", name, p.Line, p.Column)
+}

@@ -1,0 +1,120 @@
+package tsan
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+)
+
+// This file consumes the static sparsity report that tsanvet's threadlocal
+// analyzer emits (tsanvet -sharing out.json): variables the whole-program
+// analysis proved single-thread-reachable skip the detector entirely — no
+// detMu, no shadow check — which is the static-to-dynamic sparsification
+// the paper's "record only what matters" premise asks for.
+//
+// The fast path is guarded: every access to a claimed-local variable runs
+// a one-word atomic claim check, and the moment a second thread shows up
+// the runtime fails hard, naming the variable and the analyzer. A wrong or
+// stale report therefore turns into a loud error at record time — it can
+// never silently drop a race.
+
+// SharingReport mirrors internal/lint.SharingReport: the JSON schema is
+// identical on both sides (pinned by tests in both packages) so the
+// runtime does not import the analysis framework.
+type SharingReport struct {
+	Module  string         `json:"module"`
+	Tool    string         `json:"tool"`
+	Entries []SharingEntry `json:"entries"`
+}
+
+// SharingEntry classifies one creation site; see the lint package for the
+// producing analysis.
+type SharingEntry struct {
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	Pos    string `json:"pos"`
+	Local  bool   `json:"local"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ParseSharing decodes a report produced by `tsanvet -sharing`.
+func ParseSharing(data []byte) (*SharingReport, error) {
+	var r SharingReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("tsan: invalid sharing report: %w", err)
+	}
+	return &r, nil
+}
+
+// buildLocalSet merges the report into the name -> provably-local map. A
+// name is local only when every entry carrying it is local: distinct
+// creation sites can reuse a name, and the runtime keys by name, so one
+// shared site poisons the name.
+func buildLocalSet(r *SharingReport) map[string]bool {
+	if r == nil {
+		return nil
+	}
+	local := make(map[string]bool)
+	for _, e := range r.Entries {
+		if seen, ok := local[e.Name]; ok {
+			local[e.Name] = seen && e.Local
+		} else {
+			local[e.Name] = e.Local
+		}
+	}
+	return local
+}
+
+// StaticLocal reports whether the loaded sparsity report proves every
+// creation site of name single-thread-reachable. Without a report nothing
+// is local and every access takes the full instrumented path.
+func (d *Detector) StaticLocal(name string) bool { return d.local[name] }
+
+// LocalClaim is the one-word dynamic cross-check on a statically-local
+// variable: the first accessing thread claims it, and any later access by
+// a different thread is a hard error. Embedded by value in the variable it
+// guards; the zero value is unclaimed.
+//
+// Unlike the detector proper, this check runs OUTSIDE scheduler critical
+// sections — local accesses are invisible operations that may execute
+// physically in parallel — so the claim word is atomic.
+type LocalClaim struct {
+	tid int32 // 0 = unclaimed, else claimed TID + 1
+}
+
+// SparsityViolation is the hard error raised when a second thread touches
+// a variable the static analysis claimed thread-local. It deliberately
+// panics out of the accessing thread: the fast path skipped the shadow
+// state, so continuing could miss a race the full path would have caught.
+type SparsityViolation struct {
+	Name     string // variable name as recorded in the report
+	Claimed  TID    // thread that first accessed (and claimed) it
+	Observed TID    // the second thread
+}
+
+func (e *SparsityViolation) Error() string {
+	return fmt.Sprintf("tsan: sparsity violation on %q: the threadlocal analyzer classified it single-thread, but thread %d accessed it after thread %d claimed it; the sharing report is stale or wrong — regenerate it with `tsanvet -sharing` (failing hard here is what keeps a bad report from silently dropping races)",
+		e.Name, e.Observed, e.Claimed)
+}
+
+// OnLocalAccess is the claimed-local fast path: an atomic load and compare
+// in steady state, one CAS on first touch, and a panic carrying a
+// *SparsityViolation when a second thread appears.
+func (d *Detector) OnLocalAccess(c *LocalClaim, tid TID, name string) {
+	want := int32(tid) + 1
+	cur := atomic.LoadInt32(&c.tid)
+	if cur == want {
+		return
+	}
+	if cur == 0 && atomic.CompareAndSwapInt32(&c.tid, 0, want) {
+		return
+	}
+	// Either the load saw another thread's claim, or the CAS lost a race
+	// to one. Re-read for the accurate claimant (it can only ever change
+	// once: 0 -> first claimant).
+	cur = atomic.LoadInt32(&c.tid)
+	if cur == want {
+		return
+	}
+	panic(&SparsityViolation{Name: name, Claimed: TID(cur - 1), Observed: tid})
+}

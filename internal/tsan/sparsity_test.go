@@ -1,0 +1,155 @@
+package tsan
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/prng"
+)
+
+func TestParseSharing(t *testing.T) {
+	data := []byte(`{
+  "module": "repro",
+  "tool": "tsanvet/threadlocal",
+  "entries": [
+    {"name": "a", "kind": "var", "pos": "p/f.go:1:1", "local": true},
+    {"name": "b", "kind": "var", "pos": "p/f.go:2:1", "local": false, "reason": "captured"}
+  ]
+}`)
+	r, err := ParseSharing(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Module != "repro" || r.Tool != "tsanvet/threadlocal" || len(r.Entries) != 2 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if !r.Entries[0].Local || r.Entries[1].Local || r.Entries[1].Reason != "captured" {
+		t.Fatalf("entries %+v", r.Entries)
+	}
+	if _, err := ParseSharing([]byte("not json")); err == nil {
+		t.Error("ParseSharing accepted garbage")
+	}
+}
+
+func TestBuildLocalSet(t *testing.T) {
+	r := &SharingReport{Entries: []SharingEntry{
+		{Name: "x", Local: true},
+		{Name: "y", Local: false},
+		// Name reuse across creation sites: one shared site poisons the
+		// name even when another site is local.
+		{Name: "z", Local: true},
+		{Name: "z", Local: false},
+		{Name: "w", Local: false},
+		{Name: "w", Local: true},
+	}}
+	local := buildLocalSet(r)
+	for name, want := range map[string]bool{"x": true, "y": false, "z": false, "w": false} {
+		if local[name] != want {
+			t.Errorf("local[%q] = %v, want %v", name, local[name], want)
+		}
+	}
+	if buildLocalSet(nil) != nil {
+		t.Error("nil report should produce nil set")
+	}
+}
+
+func TestStaticLocal(t *testing.T) {
+	rng := prng.New(1, 2)
+	with := New(rng, Options{Sharing: &SharingReport{Entries: []SharingEntry{
+		{Name: "loc", Local: true},
+		{Name: "shr", Local: false},
+	}}})
+	if !with.StaticLocal("loc") {
+		t.Error("loc should be static-local")
+	}
+	if with.StaticLocal("shr") || with.StaticLocal("unknown") {
+		t.Error("shared/unknown names must not be static-local")
+	}
+	without := New(rng, Options{})
+	if without.StaticLocal("loc") {
+		t.Error("no report: nothing is static-local")
+	}
+}
+
+func TestOnLocalAccessSameThread(t *testing.T) {
+	d := New(prng.New(1, 2), Options{})
+	var c LocalClaim
+	for i := 0; i < 3; i++ {
+		d.OnLocalAccess(&c, 2, "v") // claim then steady-state hits
+	}
+	// TID 0 is a valid thread: the +1 encoding keeps it distinct from
+	// the unclaimed zero value.
+	var c0 LocalClaim
+	d.OnLocalAccess(&c0, 0, "v0")
+	d.OnLocalAccess(&c0, 0, "v0")
+}
+
+func TestOnLocalAccessSecondThreadPanics(t *testing.T) {
+	d := New(prng.New(1, 2), Options{})
+	var c LocalClaim
+	d.OnLocalAccess(&c, 1, "app.x")
+	defer func() {
+		r := recover()
+		v, ok := r.(*SparsityViolation)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *SparsityViolation", r, r)
+		}
+		if v.Name != "app.x" || v.Claimed != 1 || v.Observed != 5 {
+			t.Errorf("violation = %+v", v)
+		}
+		msg := v.Error()
+		for _, frag := range []string{`"app.x"`, "threadlocal", "tsanvet -sharing"} {
+			if !strings.Contains(msg, frag) {
+				t.Errorf("error message missing %q: %s", frag, msg)
+			}
+		}
+	}()
+	d.OnLocalAccess(&c, 5, "app.x")
+}
+
+// TestOnLocalAccessConcurrentFirstTouch races many goroutines at an
+// unclaimed word: exactly one claims it, every loser must observe a
+// violation naming the true claimant (never a zero TID from a torn read).
+func TestOnLocalAccessConcurrentFirstTouch(t *testing.T) {
+	d := New(prng.New(1, 2), Options{})
+	var c LocalClaim
+	const n = 8
+	violations := make([]*SparsityViolation, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					violations[i] = r.(*SparsityViolation)
+				}
+			}()
+			d.OnLocalAccess(&c, TID(i), "contested")
+		}(i)
+	}
+	wg.Wait()
+	var winner TID = -1
+	for i, v := range violations {
+		if v == nil {
+			if winner != -1 && winner != TID(i) {
+				// Two goroutines succeeded with distinct TIDs: the claim
+				// word admitted two threads.
+				t.Fatalf("both thread %d and thread %d claimed the variable", winner, i)
+			}
+			winner = TID(i)
+		}
+	}
+	if winner == -1 {
+		t.Fatal("no goroutine claimed the variable")
+	}
+	for i, v := range violations {
+		if v == nil {
+			continue
+		}
+		if v.Claimed != winner || v.Observed != TID(i) {
+			t.Errorf("goroutine %d saw violation %+v, want claimed=%d", i, v, winner)
+		}
+	}
+}
