@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test tsanvet smoke bench
+.PHONY: check fmt vet build test tsanvet smoke debug-smoke bench
 
 check: fmt vet build test tsanvet
 
@@ -37,6 +37,17 @@ smoke:
 	$(GO) run ./cmd/racehunt -program ms-queue -strategies rnd -trials 16 \
 		-workers 4 -seed 7 -corpus /tmp/racehunt-corpus.json -o /tmp/racehunt-race.demo
 	$(GO) run ./cmd/demoinspect /tmp/racehunt-race.demo
+
+# debug-smoke drives a scripted tsandebug session over the checked-in
+# minimized ms-queue demo: run-to-tick, reverse-continue to the raced
+# variable's last write, a trace window and a restart-from-checkpoint
+# verification. The transcript lands in /tmp for CI to archive; the
+# scripted session exits nonzero if any command fails.
+debug-smoke:
+	$(GO) run ./cmd/tsandebug -program ms-queue \
+		-demo cmd/tsandebug/testdata/msqueue.demo \
+		-script cmd/tsandebug/testdata/smoke.script \
+		| tee /tmp/tsandebug-transcript.txt
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -32,11 +32,12 @@ func run(args []string, out, errOut io.Writer) int {
 	fs.SetOutput(errOut)
 	verbose := fs.Bool("v", false, "dump individual events and syscalls")
 	statsFlag := fs.Bool("stats", false, "print per-stream event counts and encoded sizes as a metrics table")
+	windowFlag := fs.String("window", "", "print the stream events of tick window T1..T2 (or a single tick T)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(errOut, "usage: demoinspect [-v] [-stats] <demo file>")
+		fmt.Fprintln(errOut, "usage: demoinspect [-v] [-stats] [-window T1..T2] <demo file>")
 		return 2
 	}
 	d, err := demo.ReadFile(fs.Arg(0))
@@ -82,6 +83,28 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		fmt.Fprintln(out, "\nstream metrics:")
 		fmt.Fprint(out, m.Dump())
+	}
+
+	if *windowFlag != "" {
+		from, to, err := demo.ParseTickRange(*windowFlag)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 2
+		}
+		w := d.Window(from, to)
+		fmt.Fprintf(out, "\nwindow %d..%d:\n", w.From, w.To)
+		if w.Empty() {
+			fmt.Fprintln(out, "  no recorded stream events in window")
+		}
+		for _, st := range w.Scheduled {
+			fmt.Fprintf(out, "  QUEUE  tick %-8d schedule thread %d\n", st.Tick, st.TID)
+		}
+		for _, s := range w.Signals {
+			fmt.Fprintf(out, "  SIGNAL tick %-8d sig %d -> thread %d\n", s.Tick, s.Sig, s.TID)
+		}
+		for _, a := range w.Asyncs {
+			fmt.Fprintf(out, "  ASYNC  tick %-8d %-14s thread %d\n", a.Tick, a.Kind, a.TID)
+		}
 	}
 
 	if !*verbose {

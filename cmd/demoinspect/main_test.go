@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -98,6 +99,51 @@ func TestRunUnreplayableDemos(t *testing.T) {
 				t.Errorf("stderr missing validation error: %s", errOut.String())
 			}
 		})
+	}
+}
+
+// TestRunWindow is the -window golden test: the sample demo's queue
+// schedule is tick 1 -> thread 0, tick 2 -> thread 1, tick 3 -> thread 0,
+// with a signal keyed to tick 2; the window 2..3 must render exactly
+// those events.
+func TestRunWindow(t *testing.T) {
+	path := writeDemo(t, sampleDemo())
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-window", "2..3", path}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	golden := "window 2..3:\n" +
+		fmt.Sprintf("  QUEUE  tick %-8d schedule thread %d\n", 2, 1) +
+		fmt.Sprintf("  QUEUE  tick %-8d schedule thread %d\n", 3, 0) +
+		fmt.Sprintf("  SIGNAL tick %-8d sig %d -> thread %d\n", 2, 15, 1)
+	if !strings.Contains(out.String(), golden) {
+		t.Errorf("output missing golden window block:\n--- want ---\n%s--- got ---\n%s", golden, out.String())
+	}
+}
+
+func TestRunWindowSingleTickAndEmpty(t *testing.T) {
+	path := writeDemo(t, sampleDemo())
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-window", "1", path}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "window 1..1:") ||
+		!strings.Contains(out.String(), "schedule thread 0") {
+		t.Errorf("single-tick window wrong:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "sig 15") {
+		t.Errorf("window 1..1 must not contain the tick-2 signal:\n%s", out.String())
+	}
+}
+
+func TestRunWindowBadRange(t *testing.T) {
+	path := writeDemo(t, sampleDemo())
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-window", "9..3", path}, &out, &errOut); code != 2 {
+		t.Fatalf("run = %d, want 2 for inverted range", code)
+	}
+	if !strings.Contains(errOut.String(), "bad tick range") {
+		t.Errorf("stderr missing range diagnostic: %s", errOut.String())
 	}
 }
 

@@ -58,6 +58,18 @@ func TestRacehuntSmoke(t *testing.T) {
 		if err := cd.Validate(); err != nil {
 			t.Fatalf("corpus entry %d demo invalid: %v", i, err)
 		}
+		// The repro field is the exact tsandebug invocation for this
+		// failure: extracted demo path plus the raced variable as the
+		// reverse-continue target.
+		if !strings.HasPrefix(e.Repro, "tsandebug -program ms-queue -demo "+e.DemoPath) {
+			t.Fatalf("corpus entry %d: malformed repro %q", i, e.Repro)
+		}
+		if _, err := os.Stat(filepath.Join(dir, e.DemoPath)); err != nil {
+			t.Fatalf("corpus entry %d: extracted demo missing: %v", i, err)
+		}
+		if len(e.Races) > 0 && !strings.Contains(e.Repro, "reverse-continue msq.") {
+			t.Fatalf("corpus entry %d: repro lacks raced-variable reverse-continue: %q", i, e.Repro)
+		}
 	}
 }
 

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/apps/litmus"
+	"repro/internal/core"
+	"repro/internal/demo"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/msqueue.demo")
+
+// TestGenerateTestdata regenerates the checked-in smoke demo: the first
+// seeded ms-queue recording (random strategy, seeds scanned from 1) that
+// detects a data race. Run with:
+//
+//	go test ./cmd/tsandebug -run TestGenerateTestdata -update
+func TestGenerateTestdata(t *testing.T) {
+	if !*update {
+		t.Skip("pass -update to regenerate testdata")
+	}
+	p, _ := litmus.ByName("ms-queue")
+	for seed := uint64(1); seed <= 100; seed++ {
+		rt, err := core.New(core.RecordOptions(demo.StrategyRandom, seed, seed*3+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := rt.Run(p.Body(rt))
+		if err != nil || len(rep.Races) == 0 {
+			continue
+		}
+		if err := rep.Demo.WriteFile("testdata/msqueue.demo"); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seeds %d/%d: %d ticks, race on %s",
+			seed, seed*3+1, rep.Demo.FinalTick, rep.Races[0].Location)
+		return
+	}
+	t.Fatal("no racy ms-queue recording in 100 seeds")
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestScriptSmoke drives the checked-in demo through the checked-in smoke
+// script — the same invocation CI runs and archives.
+func TestScriptSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-program", "ms-queue",
+		"-demo", "testdata/msqueue.demo",
+		"-script", "testdata/smoke.script",
+	}, strings.NewReader(""), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"program   ms-queue",
+		"race 0    data race on msq.value",
+		"at tick 300",
+		"last write to \"msq.value\"",
+		"trace ticks 290..300",
+		"checkpoint 0 converges bit-identically",
+		"at end: tick 395 (replay complete)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("transcript missing %q\ntranscript:\n%s", want, got)
+		}
+	}
+}
+
+// TestInlineCommands covers -e mode.
+func TestInlineCommands(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-program", "ms-queue",
+		"-demo", "testdata/msqueue.demo",
+		"-e", "run-to-tick 50; reverse-step; where",
+	}, strings.NewReader(""), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "at tick 49") {
+		t.Errorf("expected position 49 after reverse-step:\n%s", out.String())
+	}
+}
+
+// TestREPL drives the interactive loop over a reader.
+func TestREPL(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-program", "ms-queue",
+		"-demo", "testdata/msqueue.demo",
+	}, strings.NewReader("step\nwhere\nquit\n"), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "at tick 1") {
+		t.Errorf("REPL transcript missing position:\n%s", out.String())
+	}
+}
+
+// TestFailingScript: a script whose command fails must exit 1 (CI relies
+// on scripted sessions being assertions).
+func TestFailingScript(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-program", "ms-queue",
+		"-demo", "testdata/msqueue.demo",
+		"-e", "run-to-tick not-a-number",
+	}, strings.NewReader(""), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1\nstdout:\n%s", code, out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("missing flags: run = %d, want 2", code)
+	}
+	if code := run([]string{"-program", "nope", "-demo", "testdata/msqueue.demo"},
+		strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Fatalf("unknown program: run = %d, want 2", code)
+	}
+}

@@ -105,6 +105,13 @@ type Runtime struct {
 
 	cpu cpuToken // rr-model sequentialisation token
 
+	// dbg, when non-nil, is the debugger rendezvous: criticalOp calls its
+	// beforeOp hook at every visible-op classification point. widx, when
+	// non-nil, indexes Var write sites for reverse-continue targets. Both
+	// nil outside debug sessions, costing one pointer check per operation.
+	dbg  *DebugControl
+	widx *tsan.WriteIndex
+
 	mu       sync.Mutex
 	handlers map[int32]signalHandler
 	sigTID   TID // thread that receives external signals
@@ -112,6 +119,7 @@ type Runtime struct {
 	nextSync uint64 // mutex/cond id allocator
 	appErr   error  // first application panic
 	arena    arenaState
+	locks    []*Mutex // every instrumented mutex, for held-lock dumps
 
 	unc      uncontrolledState
 	uthreads map[TID]*Thread
@@ -151,6 +159,13 @@ func New(opts Options) (*Runtime, error) {
 		tr:       opts.Trace,
 		mx:       opts.Metrics,
 		obsOn:    opts.Trace != nil || opts.Metrics != nil,
+		dbg:      opts.Debug,
+		widx:     opts.WriteIndex,
+	}
+	if rt.dbg != nil {
+		if err := rt.dbg.bind(rt); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Metrics != nil {
 		for k := obs.KindYield; k <= obs.KindOp; k++ {
@@ -327,6 +342,9 @@ func (rt *Runtime) Run(fn func(t *Thread)) (*Report, error) {
 		rep.RecentSchedule = rt.sch.RecentSchedule()
 	}
 	rt.finishObs(rep, start)
+	if rt.dbg != nil {
+		rt.dbg.finish(rt, rep)
+	}
 	return rep, err
 }
 

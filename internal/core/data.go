@@ -44,7 +44,7 @@ func (t *Thread) NewAtomic64(name string, init uint64) *Atomic64 {
 	if t.rt.native() {
 		return a
 	}
-	t.criticalOp(obs.KindAtomicStore, a.id, func() {
+	t.criticalOp(obs.KindAtomicStore, a.id, name, func() {
 		t.rt.detMu.Lock()
 		a.state = tsan.NewAtomicState(t.rt.det, t.id, init)
 		t.rt.detMu.Unlock()
@@ -58,7 +58,7 @@ func (a *Atomic64) Load(t *Thread, order MemoryOrder) uint64 {
 		return atomic.LoadUint64(&a.nval)
 	}
 	var v uint64
-	t.criticalOp(obs.KindAtomicLoad, a.id, func() {
+	t.criticalOp(obs.KindAtomicLoad, a.id, a.name, func() {
 		a.rt.detMu.Lock()
 		v = a.rt.det.Load(a.state, t.id, order)
 		a.rt.detMu.Unlock()
@@ -73,7 +73,7 @@ func (a *Atomic64) Store(t *Thread, v uint64, order MemoryOrder) {
 		atomic.StoreUint64(&a.nval, v)
 		return
 	}
-	t.criticalOp(obs.KindAtomicStore, a.id, func() {
+	t.criticalOp(obs.KindAtomicStore, a.id, a.name, func() {
 		a.rt.detMu.Lock()
 		a.rt.det.Store(a.state, t.id, v, order)
 		a.rt.detMu.Unlock()
@@ -87,7 +87,7 @@ func (a *Atomic64) Add(t *Thread, delta uint64, order MemoryOrder) uint64 {
 		return atomic.AddUint64(&a.nval, delta) - delta
 	}
 	var old uint64
-	t.criticalOp(obs.KindAtomicRMW, a.id, func() {
+	t.criticalOp(obs.KindAtomicRMW, a.id, a.name, func() {
 		a.rt.detMu.Lock()
 		old = a.rt.det.RMW(a.state, t.id, order, func(o uint64) uint64 { return o + delta })
 		a.rt.detMu.Unlock()
@@ -102,7 +102,7 @@ func (a *Atomic64) Exchange(t *Thread, v uint64, order MemoryOrder) uint64 {
 		return atomic.SwapUint64(&a.nval, v)
 	}
 	var old uint64
-	t.criticalOp(obs.KindAtomicRMW, a.id, func() {
+	t.criticalOp(obs.KindAtomicRMW, a.id, a.name, func() {
 		a.rt.detMu.Lock()
 		old = a.rt.det.RMW(a.state, t.id, order, func(uint64) uint64 { return v })
 		a.rt.detMu.Unlock()
@@ -123,7 +123,7 @@ func (a *Atomic64) CompareExchange(t *Thread, expected, desired uint64, order, f
 	}
 	var old uint64
 	var ok bool
-	t.criticalOp(obs.KindAtomicRMW, a.id, func() {
+	t.criticalOp(obs.KindAtomicRMW, a.id, a.name, func() {
 		a.rt.detMu.Lock()
 		old, ok = a.rt.det.CompareExchange(a.state, t.id, expected, desired, order, failOrder)
 		a.rt.detMu.Unlock()
@@ -147,7 +147,7 @@ func (t *Thread) Fence(order MemoryOrder) {
 	if t.rt.native() {
 		return
 	}
-	t.criticalOp(obs.KindFence, uint64(order), func() {
+	t.criticalOp(obs.KindFence, uint64(order), "", func() {
 		t.rt.detMu.Lock()
 		t.rt.det.Fence(t.id, order)
 		t.rt.detMu.Unlock()
@@ -194,6 +194,9 @@ func (x *Var[V]) Read(t *Thread) V {
 // Write stores a value, reporting a race if it conflicts with a concurrent
 // access.
 func (x *Var[V]) Write(t *Thread, v V) {
+	if x.rt.widx != nil {
+		x.rt.widx.Note(x.name, t.id, t.lastTick)
+	}
 	if x.local {
 		x.rt.det.OnLocalAccess(&x.claim, t.id, x.name)
 		x.v = v
@@ -209,6 +212,9 @@ func (x *Var[V]) Write(t *Thread, v V) {
 
 // Update applies fn to the value in place (a read and a write).
 func (x *Var[V]) Update(t *Thread, fn func(V) V) {
+	if x.rt.widx != nil {
+		x.rt.widx.Note(x.name, t.id, t.lastTick)
+	}
 	if x.local {
 		x.rt.det.OnLocalAccess(&x.claim, t.id, x.name)
 		x.v = fn(x.v)

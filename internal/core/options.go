@@ -98,6 +98,15 @@ type Options struct {
 	// visible operations by kind, scheduler decisions by strategy, demo
 	// bytes by stream, desync counts and run durations.
 	Metrics *obs.Metrics
+	// Debug, if non-nil, attaches a debugger rendezvous to the run:
+	// criticalOp evaluates its pause predicates and checkpoint schedule at
+	// every visible-op classification point. Debugging requires Replay —
+	// pausing and restarting only make sense over a deterministic demo.
+	Debug *DebugControl
+	// WriteIndex, if non-nil, records every Var write site (name, thread,
+	// thread's last tick) — the reverse-continue target map the debugger
+	// queries. Usable in any controlled mode.
+	WriteIndex *tsan.WriteIndex
 	// Sharing is the static sparsity report produced by
 	// `tsanvet -sharing out.json`. Vars whose every creation site the
 	// threadlocal analyzer proved single-thread-reachable skip the
@@ -157,6 +166,7 @@ func UncontrolledOptions(disableRaces bool) Options {
 //   - Replay with a demo recorded under a different strategy;
 //   - Replay with explicit seeds (the demo header used to silently
 //     override them);
+//   - Debug without Replay (the debugger pauses and restarts replays);
 //   - ReportRaces with DisableRaces (reports require detection);
 //   - a Strategy or HistoryDepth out of range, or PCT parameters on a
 //     strategy that ignores them.
@@ -178,6 +188,9 @@ func (o Options) Validate() error {
 		if o.Seed1 != 0 || o.Seed2 != 0 {
 			return errors.New("core: Seed1/Seed2 must be zero during replay: the demo header provides the seeds (use core.ReplayOptions)")
 		}
+	}
+	if o.Debug != nil && o.Replay == nil {
+		return errors.New("core: Debug requires Replay: the debugger pauses and restarts deterministic replays")
 	}
 	if o.DisableRaces && o.ReportRaces {
 		return errors.New("core: ReportRaces requires race detection, which DisableRaces turns off")

@@ -31,7 +31,11 @@ type Mutex struct {
 
 // NewMutex creates a mutex.
 func (rt *Runtime) NewMutex(name string) *Mutex {
-	return &Mutex{rt: rt, id: rt.nextSyncID(), name: name, owner: -1}
+	m := &Mutex{rt: rt, id: rt.nextSyncID(), name: name, owner: -1}
+	rt.mu.Lock()
+	rt.locks = append(rt.locks, m)
+	rt.mu.Unlock()
+	return m
 }
 
 // Lock acquires the mutex, blocking t until available.
@@ -43,7 +47,7 @@ func (m *Mutex) Lock(t *Thread) {
 	}
 	for {
 		acquired := false
-		t.criticalOp(obs.KindMutexLock, m.id, func() {
+		t.criticalOp(obs.KindMutexLock, m.id, m.name, func() {
 			if !m.locked {
 				m.locked = true
 				m.owner = t.id
@@ -73,7 +77,7 @@ func (m *Mutex) TryLock(t *Thread) bool {
 		return m.uncontrolledTryLock(t)
 	}
 	acquired := false
-	t.criticalOp(obs.KindMutexLock, m.id, func() {
+	t.criticalOp(obs.KindMutexLock, m.id, m.name, func() {
 		if !m.locked {
 			m.locked = true
 			m.owner = t.id
@@ -94,7 +98,7 @@ func (m *Mutex) Unlock(t *Thread) {
 		m.uncontrolledUnlock(t)
 		return
 	}
-	t.criticalOp(obs.KindMutexUnlock, m.id, func() {
+	t.criticalOp(obs.KindMutexUnlock, m.id, m.name, func() {
 		if !m.locked || m.owner != t.id {
 			panic("core: unlock of mutex not held by this thread: " + m.name)
 		}
@@ -163,7 +167,7 @@ func (c *Cond) wait(t *Thread, timed bool) WaitResult {
 	if rt.opts.Uncontrolled {
 		return c.uncontrolledWait(t, timed)
 	}
-	t.criticalOp(obs.KindCondWait, c.id, func() {
+	t.criticalOp(obs.KindCondWait, c.id, c.name, func() {
 		if !c.m.locked || c.m.owner != t.id {
 			panic("core: cond wait without holding mutex: " + c.name)
 		}
@@ -177,7 +181,7 @@ func (c *Cond) wait(t *Thread, timed bool) WaitResult {
 	})
 	c.m.Lock(t)
 	var took bool
-	t.criticalOp(obs.KindCondWait, c.id, func() {
+	t.criticalOp(obs.KindCondWait, c.id, c.name, func() {
 		rt.sch.CondDeregister(t.id, c.id)
 		took = rt.sch.CondTook(t.id)
 		if took {
@@ -204,7 +208,7 @@ func (c *Cond) Signal(t *Thread) {
 		c.uncontrolledSignal(t, false)
 		return
 	}
-	t.criticalOp(obs.KindCondSignal, c.id, func() {
+	t.criticalOp(obs.KindCondSignal, c.id, c.name, func() {
 		rt.detMu.Lock()
 		rt.det.ReleaseEdge(t.id, &c.clock)
 		rt.detMu.Unlock()
@@ -219,7 +223,7 @@ func (c *Cond) Broadcast(t *Thread) {
 		c.uncontrolledSignal(t, true)
 		return
 	}
-	t.criticalOp(obs.KindCondBroadcast, c.id, func() {
+	t.criticalOp(obs.KindCondBroadcast, c.id, c.name, func() {
 		rt.detMu.Lock()
 		rt.det.ReleaseEdge(t.id, &c.clock)
 		rt.detMu.Unlock()
@@ -240,7 +244,7 @@ func (t *Thread) Signal(sig int32, handler func(t *Thread, sig int32)) {
 		rt.mu.Unlock()
 		return
 	}
-	t.criticalOp(obs.KindSigBind, uint64(uint32(sig)), func() {
+	t.criticalOp(obs.KindSigBind, uint64(uint32(sig)), "", func() {
 		rt.mu.Lock()
 		rt.handlers[sig] = handler
 		rt.sigTID = t.id

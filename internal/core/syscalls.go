@@ -33,7 +33,7 @@ func (t *Thread) syscall(kind env.Sys, fd int, live func() sysResult) sysResult 
 		spin(rt.opts.PerEventOverhead)
 	}
 	var res sysResult
-	t.criticalOp(obs.KindSyscall, uint64(kind), func() {
+	t.criticalOp(obs.KindSyscall, uint64(kind), kind.String(), func() {
 		fdk := env.FDInvalid
 		if fd >= 0 {
 			fdk = rt.world.FDType(fd)

@@ -26,6 +26,12 @@ type Thread struct {
 	evStream obs.Stream
 	evOff    uint64
 
+	// lastTick is the tick of this thread's most recently completed
+	// critical section, mirrored from the scheduler so invisible
+	// operations (Var accesses) can attribute themselves to a tick without
+	// taking the scheduler lock. Owned by the thread's own goroutine.
+	lastTick uint64
+
 	// uncontrolled-mode state
 	udone    chan struct{}
 	upending []int32
@@ -45,7 +51,7 @@ func (t *Thread) Name() string { return t.name }
 func (t *Thread) Runtime() *Runtime { return t.rt }
 
 // critical executes fn as one generic visible operation; see criticalOp.
-func (t *Thread) critical(fn func()) { t.criticalOp(obs.KindOp, 0, fn) }
+func (t *Thread) critical(fn func()) { t.criticalOp(obs.KindOp, 0, "", fn) }
 
 // criticalOp executes fn as one visible operation: a Wait/Tick critical
 // section (§3.1). If an asynchronous signal is pending when the thread is
@@ -53,11 +59,14 @@ func (t *Thread) critical(fn func()) { t.criticalOp(obs.KindOp, 0, fn) }
 // (itself a visible operation, §3.2/§4.3), the handler body runs, and the
 // original operation is retried.
 //
-// kind and obj classify the operation for the observability layer; when
-// tracing or metrics are on, the event is emitted inside the scheduler's
-// Tick so trace order equals tick order. fn can refine the event through
-// t.evArg/evStream/evOff.
-func (t *Thread) criticalOp(kind obs.Kind, obj uint64, fn func()) {
+// kind, obj and name classify the operation for the observability layer
+// and the debugger: when tracing or metrics are on, the event is emitted
+// inside the scheduler's Tick so trace order equals tick order, and when a
+// debugger is attached its breakpoint predicates are evaluated here —
+// after Wait activated the thread, before the operation body runs — so a
+// paused run is quiesced with the operation still pending. fn can refine
+// the event through t.evArg/evStream/evOff.
+func (t *Thread) criticalOp(kind obs.Kind, obj uint64, name string, fn func()) {
 	rt := t.rt
 	if rt.opts.Uncontrolled {
 		t.uncontrolledCritical(fn)
@@ -78,25 +87,31 @@ func (t *Thread) criticalOp(kind obs.Kind, obj uint64, fn func()) {
 			rt.mu.Lock()
 			h := rt.handlers[sig]
 			rt.mu.Unlock()
+			if rt.dbg != nil {
+				rt.dbg.beforeOp(rt, t.id, obs.KindSigHandler, uint64(uint32(sig)), "")
+			}
 			if rt.obsOn {
-				rt.sch.TickEvent(t.id, obs.Event{Kind: obs.KindSigHandler, Obj: uint64(uint32(sig))})
+				t.lastTick = rt.sch.TickEvent(t.id, obs.Event{Kind: obs.KindSigHandler, Obj: uint64(uint32(sig))})
 				rt.opCount[obs.KindSigHandler].Add(1)
 			} else {
-				rt.sch.Tick(t.id)
+				t.lastTick = rt.sch.Tick(t.id)
 			}
 			if h != nil {
 				h(t, sig)
 			}
 			continue
 		}
+		if rt.dbg != nil {
+			rt.dbg.beforeOp(rt, t.id, kind, obj, name)
+		}
 		fn()
 		if rt.obsOn {
-			rt.sch.TickEvent(t.id, obs.Event{Kind: kind, Obj: obj,
+			t.lastTick = rt.sch.TickEvent(t.id, obs.Event{Kind: kind, Obj: obj,
 				Arg: t.evArg, Stream: t.evStream, Offset: t.evOff})
 			rt.opCount[kind].Add(1)
 			t.evArg, t.evStream, t.evOff = 0, obs.StreamNone, 0
 		} else {
-			rt.sch.Tick(t.id)
+			t.lastTick = rt.sch.Tick(t.id)
 		}
 		return
 	}
@@ -108,7 +123,7 @@ func (t *Thread) Yield() {
 		runtime.Gosched()
 		return
 	}
-	t.criticalOp(obs.KindYield, 0, func() {})
+	t.criticalOp(obs.KindYield, 0, "", func() {})
 }
 
 // Rand returns the thread's deterministic PRNG, for application-level
@@ -151,7 +166,7 @@ func (t *Thread) Spawn(name string, fn func(*Thread)) *Handle {
 		return h
 	}
 	var child *Thread
-	t.criticalOp(obs.KindSpawn, 0, func() {
+	t.criticalOp(obs.KindSpawn, 0, name, func() {
 		ctid := rt.sch.ThreadNew(t.id, name)
 		rt.detMu.Lock()
 		rt.det.OnThreadCreate(t.id, ctid)
@@ -189,7 +204,7 @@ func (t *Thread) Join(h *Handle) {
 	}
 	for {
 		finished := false
-		t.criticalOp(obs.KindJoin, uint64(uint32(h.t.id)), func() {
+		t.criticalOp(obs.KindJoin, uint64(uint32(h.t.id)), h.t.name, func() {
 			finished = rt.sch.ThreadJoin(t.id, h.t.id)
 			if finished {
 				rt.detMu.Lock()
@@ -211,7 +226,7 @@ func (t *Thread) exit() {
 	if t.rt.opts.Uncontrolled {
 		return
 	}
-	t.criticalOp(obs.KindExit, 0, func() {
+	t.criticalOp(obs.KindExit, 0, t.name, func() {
 		t.rt.sch.ThreadDelete(t.id)
 	})
 }

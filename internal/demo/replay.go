@@ -53,43 +53,56 @@ func NewReplayer(d *Demo) (*Replayer, error) {
 	r.sigsLeft.Store(int64(len(d.Signals)))
 	r.asyncsLeft.Store(int64(len(d.Asyncs)))
 	if d.Strategy == StrategyQueue {
-		// Every tick 1..FinalTick must be covered by the schedule chains,
-		// and each chain step consumes either a FirstTick entry or a delta
-		// slot, so a FinalTick beyond their sum cannot be satisfied. Checking
-		// up front also keeps a corrupt FinalTick (e.g. ^uint64(0), whose +1
-		// wraps to zero below) from panicking or allocating wildly.
-		if d.FinalTick > uint64(len(d.Queue.Ticks))+uint64(len(d.Queue.FirstTick)) {
-			return nil, fmt.Errorf("%w: final tick %d exceeds the recorded schedule data (%d delta entries, %d threads)",
-				ErrCorrupt, d.FinalTick, len(d.Queue.Ticks), len(d.Queue.FirstTick))
+		schedule, err := d.queueSchedule()
+		if err != nil {
+			return nil, err
 		}
-		r.schedule = make([]int32, d.FinalTick+1)
-		for i := range r.schedule {
-			r.schedule[i] = -1
-		}
-		for tid, first := range d.Queue.FirstTick {
-			t := first
-			for t != 0 && t <= d.FinalTick {
-				if r.schedule[t] != -1 {
-					return nil, fmt.Errorf("%w: tick %d scheduled twice", ErrCorrupt, t)
-				}
-				r.schedule[t] = tid
-				if t-1 >= uint64(len(d.Queue.Ticks)) {
-					break
-				}
-				delta := d.Queue.Ticks[t-1]
-				if delta == 0 {
-					break
-				}
-				t += delta
-			}
-		}
-		for t := uint64(1); t <= d.FinalTick; t++ {
-			if r.schedule[t] == -1 {
-				return nil, fmt.Errorf("%w: tick %d has no scheduled thread", ErrCorrupt, t)
-			}
-		}
+		r.schedule = schedule
 	}
 	return r, nil
+}
+
+// queueSchedule reconstructs the queue strategy's per-tick schedule from
+// the QUEUE stream's first-tick map and delta chains: schedule[t] is the
+// thread that must run critical section t (1-based). Shared by the
+// Replayer and by tick-window slicing (Window / demoinspect -window).
+func (d *Demo) queueSchedule() ([]int32, error) {
+	// Every tick 1..FinalTick must be covered by the schedule chains,
+	// and each chain step consumes either a FirstTick entry or a delta
+	// slot, so a FinalTick beyond their sum cannot be satisfied. Checking
+	// up front also keeps a corrupt FinalTick (e.g. ^uint64(0), whose +1
+	// wraps to zero below) from panicking or allocating wildly.
+	if d.FinalTick > uint64(len(d.Queue.Ticks))+uint64(len(d.Queue.FirstTick)) {
+		return nil, fmt.Errorf("%w: final tick %d exceeds the recorded schedule data (%d delta entries, %d threads)",
+			ErrCorrupt, d.FinalTick, len(d.Queue.Ticks), len(d.Queue.FirstTick))
+	}
+	schedule := make([]int32, d.FinalTick+1)
+	for i := range schedule {
+		schedule[i] = -1
+	}
+	for tid, first := range d.Queue.FirstTick {
+		t := first
+		for t != 0 && t <= d.FinalTick {
+			if schedule[t] != -1 {
+				return nil, fmt.Errorf("%w: tick %d scheduled twice", ErrCorrupt, t)
+			}
+			schedule[t] = tid
+			if t-1 >= uint64(len(d.Queue.Ticks)) {
+				break
+			}
+			delta := d.Queue.Ticks[t-1]
+			if delta == 0 {
+				break
+			}
+			t += delta
+		}
+	}
+	for t := uint64(1); t <= d.FinalTick; t++ {
+		if schedule[t] == -1 {
+			return nil, fmt.Errorf("%w: tick %d has no scheduled thread", ErrCorrupt, t)
+		}
+	}
+	return schedule, nil
 }
 
 // Demo returns the underlying demo.
@@ -210,6 +223,32 @@ func (r *Replayer) LeftoverError(finalTick uint64) error {
 		}
 	}
 	return nil
+}
+
+// Cursors is the Replayer's stream-offset bookmark: how far replay has
+// consumed each demo stream. It is a pure value, captured into replay
+// checkpoints and compared to verify bit-identical convergence after a
+// restart. (The QUEUE stream needs no cursor — its position is the tick
+// counter itself.)
+type Cursors struct {
+	// SyscallsConsumed counts consumed SYSCALL records.
+	SyscallsConsumed int
+	// SignalsLeft and AsyncsLeft count the not-yet-delivered entries of
+	// the SIGNAL and ASYNC streams (those streams are consumed keyed by
+	// tick, not sequentially, so "remaining" is the natural cursor).
+	SignalsLeft int
+	AsyncsLeft  int
+}
+
+// Cursors returns the replay's current stream-offset bookmark.
+func (r *Replayer) Cursors() Cursors {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Cursors{
+		SyscallsConsumed: r.sysCursor,
+		SignalsLeft:      int(r.sigsLeft.Load()),
+		AsyncsLeft:       int(r.asyncsLeft.Load()),
+	}
 }
 
 // SoftDesynced reports whether the replay's observable output differed from

@@ -1,0 +1,92 @@
+package demo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TickWindow is the tick-sliced view of a demo's constraint streams: every
+// recorded event whose tick falls in [From, To]. The debugger's trace
+// command and demoinspect's -window flag both render it, so the slicing
+// logic lives here rather than in either tool.
+type TickWindow struct {
+	From, To uint64
+	// Scheduled is the queue strategy's dictated schedule for the window,
+	// one entry per tick; empty for strategies whose schedule is re-derived
+	// from the seeds (nothing per-tick is recorded).
+	Scheduled []ScheduledTick
+	Signals   []SignalEvent
+	Asyncs    []AsyncEvent
+}
+
+// ScheduledTick is one tick of the queue strategy's recorded schedule.
+type ScheduledTick struct {
+	Tick uint64
+	TID  int32
+}
+
+// Empty reports whether the window contains no recorded events.
+func (w TickWindow) Empty() bool {
+	return len(w.Scheduled) == 0 && len(w.Signals) == 0 && len(w.Asyncs) == 0
+}
+
+// Window slices the demo's streams to the ticks in [from, to] (clamped to
+// [1, FinalTick]). SYSCALL records carry no tick, so they are not part of a
+// window; SIGNAL events are keyed by the receiving thread's preceding tick
+// and ASYNC events by the tick they were floated to, both of which must lie
+// in the range. A corrupt QUEUE stream yields an empty Scheduled slice
+// rather than an error: window rendering is diagnostic output and the
+// replayer's own validation reports corruption authoritatively.
+func (d *Demo) Window(from, to uint64) TickWindow {
+	if from < 1 {
+		from = 1
+	}
+	if to > d.FinalTick {
+		to = d.FinalTick
+	}
+	w := TickWindow{From: from, To: to}
+	if from > to {
+		return w
+	}
+	if d.Strategy == StrategyQueue {
+		if schedule, err := d.queueSchedule(); err == nil {
+			for t := from; t <= to && t < uint64(len(schedule)); t++ {
+				w.Scheduled = append(w.Scheduled, ScheduledTick{Tick: t, TID: schedule[t]})
+			}
+		}
+	}
+	for _, s := range d.Signals {
+		if s.Tick >= from && s.Tick <= to {
+			w.Signals = append(w.Signals, s)
+		}
+	}
+	for _, a := range d.Asyncs {
+		if a.Tick >= from && a.Tick <= to {
+			w.Asyncs = append(w.Asyncs, a)
+		}
+	}
+	return w
+}
+
+// ParseTickRange parses the "T1..T2" range syntax shared by
+// demoinspect -window and the debugger's trace command. A bare "T" means
+// the single tick [T, T].
+func ParseTickRange(s string) (from, to uint64, err error) {
+	lo, hi, found := strings.Cut(s, "..")
+	if !found {
+		hi = lo
+	}
+	from, err = strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("demo: bad tick range %q: %v", s, err)
+	}
+	to, err = strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("demo: bad tick range %q: %v", s, err)
+	}
+	if from > to {
+		return 0, 0, fmt.Errorf("demo: bad tick range %q: start exceeds end", s)
+	}
+	return from, to, nil
+}

@@ -1,0 +1,89 @@
+package demo
+
+import "testing"
+
+func windowDemo() *Demo {
+	return &Demo{
+		Strategy:  StrategyQueue,
+		Seed1:     1,
+		Seed2:     2,
+		FinalTick: 6,
+		Queue: Queue{
+			// Schedule: t0 at ticks 1,3,5 and t1 at ticks 2,4,6.
+			FirstTick: map[int32]uint64{0: 1, 1: 2},
+			Ticks:     []uint64{2, 2, 2, 2, 0, 0},
+		},
+		Signals: []SignalEvent{{TID: 1, Tick: 4, Sig: 15}},
+		Asyncs:  []AsyncEvent{{Kind: AsyncSignalWakeup, Tick: 5, TID: 1}},
+	}
+}
+
+func TestWindowSlicesStreams(t *testing.T) {
+	d := windowDemo()
+	w := d.Window(3, 5)
+	if w.From != 3 || w.To != 5 || w.Empty() {
+		t.Fatalf("window = %+v", w)
+	}
+	if len(w.Scheduled) != 3 {
+		t.Fatalf("Scheduled = %+v, want 3 ticks", w.Scheduled)
+	}
+	for i, want := range []struct {
+		tick uint64
+		tid  int32
+	}{{3, 0}, {4, 1}, {5, 0}} {
+		if got := w.Scheduled[i]; got.Tick != want.tick || got.TID != want.tid {
+			t.Errorf("Scheduled[%d] = %+v, want tick %d -> t%d", i, got, want.tick, want.tid)
+		}
+	}
+	if len(w.Signals) != 1 || w.Signals[0].Tick != 4 {
+		t.Errorf("Signals = %+v, want the tick-4 signal", w.Signals)
+	}
+	if len(w.Asyncs) != 1 || w.Asyncs[0].Tick != 5 {
+		t.Errorf("Asyncs = %+v, want the tick-5 async", w.Asyncs)
+	}
+}
+
+func TestWindowClampsAndExcludes(t *testing.T) {
+	d := windowDemo()
+	// Clamped to [1, FinalTick]; the tick-4 signal excluded from 1..3.
+	w := d.Window(0, 99)
+	if w.From != 1 || w.To != 6 || len(w.Scheduled) != 6 {
+		t.Fatalf("clamped window = %+v", w)
+	}
+	w = d.Window(1, 3)
+	if len(w.Signals) != 0 || len(w.Asyncs) != 0 {
+		t.Fatalf("window 1..3 leaked later events: %+v", w)
+	}
+	// Inverted after clamping: empty, not panicking.
+	if w := d.Window(10, 3); !w.Empty() {
+		t.Fatalf("inverted window not empty: %+v", w)
+	}
+	// Non-queue strategies record no per-tick schedule.
+	d.Strategy = StrategyRandom
+	if w := d.Window(1, 6); len(w.Scheduled) != 0 {
+		t.Fatalf("random-strategy window has a schedule: %+v", w)
+	}
+}
+
+func TestParseTickRange(t *testing.T) {
+	cases := []struct {
+		in       string
+		from, to uint64
+		ok       bool
+	}{
+		{"3..9", 3, 9, true},
+		{"7", 7, 7, true},
+		{" 2 .. 4 ", 2, 4, true},
+		{"9..3", 0, 0, false},
+		{"", 0, 0, false},
+		{"a..b", 0, 0, false},
+		{"3..", 0, 0, false},
+	}
+	for _, c := range cases {
+		from, to, err := ParseTickRange(c.in)
+		if (err == nil) != c.ok || from != c.from || to != c.to {
+			t.Errorf("ParseTickRange(%q) = %d, %d, %v; want %d, %d, ok=%v",
+				c.in, from, to, err, c.from, c.to, c.ok)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/demo"
 )
@@ -36,6 +38,28 @@ type CorpusEntry struct {
 	OriginalBytes  int    `json:"original_bytes"`
 	MinimizedBytes int    `json:"minimized_bytes"`
 	DemoBytes      []byte `json:"demo,omitempty"`
+	// DemoPath is the sibling .demo file WriteFile extracts the minimized
+	// demo to, relative to the corpus file's directory.
+	DemoPath string `json:"demo_path,omitempty"`
+	// Repro is the exact tsandebug invocation that opens a time-travel
+	// debugging session over this failure: the extracted demo plus the
+	// raced variable (reverse-continue's default target). Filled by
+	// WriteFile, which knows where the demo lands on disk.
+	Repro string `json:"repro,omitempty"`
+}
+
+// racedVar extracts the raced variable name from a rendered race report
+// ("data race on NAME: ...").
+func racedVar(races []string) string {
+	if len(races) == 0 {
+		return ""
+	}
+	rest, ok := strings.CutPrefix(races[0], "data race on ")
+	if !ok {
+		return ""
+	}
+	name, _, _ := strings.Cut(rest, ":")
+	return name
 }
 
 // Decode deserialises the entry's demo.
@@ -73,8 +97,33 @@ func (r *Result) Corpus() *Corpus {
 	return c
 }
 
-// WriteFile serialises the corpus to path as indented JSON.
+// WriteFile serialises the corpus to path as indented JSON. Each entry's
+// minimized demo is also extracted to a sibling file
+// (<base>-entry<i>.demo), and the entry's DemoPath and Repro fields are
+// filled so a recorded failure can be opened in the debugger verbatim:
+//
+//	tsandebug -program <prog> -demo <demo> -e 'run-to-tick N; reverse-continue <var>'
 func (c *Corpus) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	for i := range c.Entries {
+		e := &c.Entries[i]
+		if len(e.DemoBytes) == 0 {
+			continue
+		}
+		d, err := e.Decode()
+		if err != nil {
+			return fmt.Errorf("explore: corpus entry %d: %w", i, err)
+		}
+		e.DemoPath = fmt.Sprintf("%s-entry%d.demo", base, i)
+		if err := os.WriteFile(filepath.Join(dir, e.DemoPath), e.DemoBytes, 0o644); err != nil {
+			return err
+		}
+		e.Repro = fmt.Sprintf("tsandebug -program %s -demo %s", c.Program, e.DemoPath)
+		if v := racedVar(e.Races); v != "" {
+			e.Repro += fmt.Sprintf(" -e 'run-to-tick %d; reverse-continue %s'", d.FinalTick, v)
+		}
+	}
 	data, err := json.MarshalIndent(c, "", "  ")
 	if err != nil {
 		return err

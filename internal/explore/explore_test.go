@@ -1,6 +1,10 @@
 package explore
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -212,6 +216,22 @@ func TestCorpusRoundTrip(t *testing.T) {
 		}
 		if e.Signature != c.Entries[i].Signature {
 			t.Fatalf("entry %d signature mangled", i)
+		}
+		if e.DemoPath == "" {
+			t.Fatalf("entry %d: WriteFile left DemoPath empty", i)
+		}
+		onDisk, err := os.ReadFile(filepath.Join(filepath.Dir(path), e.DemoPath))
+		if err != nil {
+			t.Fatalf("entry %d: extracted demo missing: %v", i, err)
+		}
+		if !bytes.Equal(onDisk, e.DemoBytes) {
+			t.Fatalf("entry %d: extracted demo differs from inline bytes", i)
+		}
+		if !strings.HasPrefix(e.Repro, "tsandebug -program "+c.Program+" -demo "+e.DemoPath) {
+			t.Fatalf("entry %d: malformed repro invocation %q", i, e.Repro)
+		}
+		if len(e.Races) > 0 && !strings.Contains(e.Repro, "reverse-continue ") {
+			t.Fatalf("entry %d: repro for a racy failure lacks reverse-continue: %q", i, e.Repro)
 		}
 	}
 }

@@ -266,6 +266,39 @@ func (t *Tracer) Last(n int) []Event {
 	return evs
 }
 
+// Window returns the retained events whose Tick lies in [from, to],
+// oldest-first, plus an eviction marker: evicted is true when the ring has
+// wrapped past the start of the requested window, i.e. events with ticks
+// at or above from may have been overwritten and the returned slice is
+// (potentially) incomplete. The ring is scanned rather than indexed —
+// events are nearly tick-sorted but scheduler events straddle tick
+// boundaries, so a filter over the retained span is both simpler and
+// exact. Nil-safe; only meaningful once the execution has quiesced.
+func (t *Tracer) Window(from, to uint64) (events []Event, evicted bool) {
+	if t == nil {
+		return nil, false
+	}
+	retained := t.Snapshot()
+	wrapped := t.seq.Load() > uint64(len(t.buf))
+	if wrapped {
+		// After a wrap the oldest retained event bounds what is still
+		// addressable: any requested tick below it may have been evicted.
+		oldest := ^uint64(0)
+		for _, ev := range retained {
+			if ev.Tick < oldest {
+				oldest = ev.Tick
+			}
+		}
+		evicted = len(retained) == 0 || from < oldest
+	}
+	for _, ev := range retained {
+		if ev.Tick >= from && ev.Tick <= to {
+			events = append(events, ev)
+		}
+	}
+	return events, evicted
+}
+
 // Reset discards all captured events without changing the enabled state.
 func (t *Tracer) Reset() {
 	if t == nil {

@@ -203,3 +203,83 @@ func TestEventString(t *testing.T) {
 		}
 	}
 }
+
+// TestWindowBeforeWrap: with the ring not yet full, every tick-indexed
+// lookup is exact and nothing is marked evicted.
+func TestWindowBeforeWrap(t *testing.T) {
+	tr := NewTracer(64)
+	for tick := uint64(1); tick <= 40; tick++ {
+		tr.Emit(Event{Kind: KindYield, Tick: tick, TID: int32(tick % 3)})
+	}
+	evs, evicted := tr.Window(10, 20)
+	if evicted {
+		t.Fatal("unwrapped ring reported eviction")
+	}
+	if len(evs) != 11 {
+		t.Fatalf("window 10..20 returned %d events, want 11", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(10 + i); ev.Tick != want {
+			t.Fatalf("event %d has tick %d, want %d", i, ev.Tick, want)
+		}
+	}
+	if evs, evicted := tr.Window(100, 200); evicted || len(evs) != 0 {
+		t.Fatalf("future window = %d events, evicted %v; want empty, not evicted", len(evs), evicted)
+	}
+}
+
+// TestWindowWraparound is the satellite test: after the flight-recorder
+// ring wraps, a tick-indexed lookup either returns the correct events (a
+// window fully inside the retained tail) or sets the explicit evicted
+// marker (a window reaching into overwritten history) — never silently
+// incomplete results.
+func TestWindowWraparound(t *testing.T) {
+	tr := NewTracer(8) // tiny ring: 100 events of 1 event/tick retain ticks 93..100
+	for tick := uint64(1); tick <= 100; tick++ {
+		tr.Emit(Event{Kind: KindYield, Tick: tick, TID: 1})
+	}
+
+	// Window fully evicted: correct flag, no phantom events.
+	evs, evicted := tr.Window(1, 10)
+	if !evicted {
+		t.Fatal("window 1..10 after wrap must be marked evicted")
+	}
+	if len(evs) != 0 {
+		t.Fatalf("evicted window returned %d events", len(evs))
+	}
+
+	// Window straddling the eviction horizon: flagged, and the returned
+	// events are exactly the retained part.
+	evs, evicted = tr.Window(90, 95)
+	if !evicted {
+		t.Fatal("window straddling the horizon must be marked evicted")
+	}
+	for _, ev := range evs {
+		if ev.Tick < 93 || ev.Tick > 95 {
+			t.Fatalf("straddling window returned tick %d outside retained 93..95", ev.Tick)
+		}
+	}
+
+	// Window fully inside the retained tail: exact and not evicted.
+	evs, evicted = tr.Window(95, 100)
+	if evicted {
+		t.Fatal("fully retained window must not be marked evicted")
+	}
+	if len(evs) != 6 {
+		t.Fatalf("window 95..100 returned %d events, want 6", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(95 + i); ev.Tick != want {
+			t.Fatalf("event %d has tick %d, want %d", i, ev.Tick, want)
+		}
+	}
+}
+
+// TestWindowNilTracer: the debugger calls Window on whatever tracer the
+// session has; nil must stay inert.
+func TestWindowNilTracer(t *testing.T) {
+	var tr *Tracer
+	if evs, evicted := tr.Window(1, 10); evs != nil || evicted {
+		t.Fatal("nil tracer Window must return nothing")
+	}
+}

@@ -112,6 +112,23 @@ func (src *Source) Clone() *Source {
 	return &dup
 }
 
+// State is a value snapshot of a Source: the four xoshiro words, the two
+// seed words, and the draw counter. Two Sources that have consumed the
+// same draw sequence from the same seeds have equal States, which is what
+// replay checkpoints compare to verify bit-identical convergence.
+type State struct {
+	S            [4]uint64
+	Seed1, Seed2 uint64
+	Draws        uint64
+}
+
+// State captures the Source's current state. Like every other method it
+// must not race with concurrent draws; the scheduler only calls it while
+// the execution is quiesced (paused or finished).
+func (src *Source) State() State {
+	return State{S: src.s, Seed1: src.seed1, Seed2: src.seed2, Draws: src.draws}
+}
+
 // Derive expands a master seed into the two-word seed for an independent
 // numbered stream. Sharded exploration gives trial i the seeds
 // Derive(master, i): each trial's xoshiro state is then decorrelated from

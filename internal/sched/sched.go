@@ -726,6 +726,54 @@ func (s *Scheduler) ThreadCount() int {
 	return len(s.threads)
 }
 
+// ThreadState is one thread's scheduler-visible state, as captured into a
+// replay checkpoint: identity, liveness, the blocked-on relation and the
+// tick of the thread's most recently completed critical section. It is a
+// pure value — deterministic across replays of the same demo — so two
+// checkpoints taken at the same tick of two replays compare bit-identical.
+type ThreadState struct {
+	TID      TID
+	Name     string
+	Done     bool
+	Enabled  bool
+	LastTick uint64
+	// Blocked names what a disabled thread is waiting on ("waiting on
+	// mutex 0x1", "joining thread 2"), empty when enabled or done.
+	Blocked string
+}
+
+func (t ThreadState) String() string {
+	status := "runnable"
+	switch {
+	case t.Done:
+		status = "exited"
+	case !t.Enabled:
+		status = "blocked: " + t.Blocked
+	}
+	return fmt.Sprintf("t%-3d %-12s last tick %-6d %s", t.TID, t.Name, t.LastTick, status)
+}
+
+// ThreadStates returns the state of every thread created so far, in tid
+// order. Meaningful as a checkpoint component only while the execution is
+// quiesced (paused inside a critical section, or finished); calling it
+// mid-flight returns a best-effort snapshot.
+func (s *Scheduler) ThreadStates() []ThreadState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ThreadState, 0, len(s.threads))
+	for _, th := range s.threads {
+		ts := ThreadState{
+			TID: th.id, Name: th.name, Done: th.done,
+			Enabled: th.enabled, LastTick: th.lastTick,
+		}
+		if !th.done && !th.enabled {
+			ts.Blocked = s.blockedWhyLocked(th)
+		}
+		out = append(out, ts)
+	}
+	return out
+}
+
 // ThreadNames returns the debug name of every thread created so far,
 // keyed by tid — the labels the Chrome trace exporter attaches to tracks.
 func (s *Scheduler) ThreadNames() map[int32]string {

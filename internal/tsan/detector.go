@@ -161,6 +161,20 @@ func (d *Detector) clock(tid TID) *vclock.Clock { return d.clocks[tid] }
 // Epoch returns tid's current epoch.
 func (d *Detector) Epoch(tid TID) vclock.Epoch { return d.clocks[tid].Get(tid) }
 
+// ClockStrings renders every thread's vector clock, indexed by tid — the
+// vclock summary a debugger's state dump and a replay checkpoint carry.
+// Thread clocks only advance at visible operations, so at a given tick the
+// rendering is deterministic across replays. Must be called under the same
+// serialisation as every other detector method (a critical section, or the
+// runtime's detector mutex while the execution is quiesced).
+func (d *Detector) ClockStrings() []string {
+	out := make([]string, len(d.clocks))
+	for tid, c := range d.clocks {
+		out[tid] = c.String()
+	}
+	return out
+}
+
 // OnThreadCreate establishes the happens-before edge from parent to a newly
 // created child thread: the child inherits the parent's clock.
 func (d *Detector) OnThreadCreate(parent, child TID) {

@@ -1,0 +1,116 @@
+// Write-site index: the reverse-continue target map for time-travel
+// debugging. Var writes are invisible operations — they carry no tick of
+// their own — so each is attributed to the writing thread's most recently
+// completed tick, which depends only on that thread's program order and is
+// therefore deterministic under replay. The debugger asks "what was the
+// last write to this variable before tick T?" and jumps there.
+//
+// host-side index populated by the runtime's data path and queried by the
+// debugger after the run has quiesced; raw sync keeps it off the
+// instrumented API.
+//
+//tsanrec:external debugger infrastructure: the index is host-side state
+package tsan
+
+import (
+	"sort"
+	"sync"
+)
+
+// WriteSite locates one write to a named variable: the writing thread and
+// the tick of that thread's most recently completed visible operation.
+type WriteSite struct {
+	TID  TID
+	Tick uint64
+}
+
+// WriteIndex accumulates write sites per variable name during a replay.
+// Note is called from invisible operations on multiple threads, so it
+// locks; queries sort lazily by (Tick, TID) so results are deterministic
+// regardless of physical arrival order.
+type WriteIndex struct {
+	mu     sync.Mutex
+	sites  map[string][]WriteSite
+	sorted bool
+}
+
+// NewWriteIndex returns an empty index.
+func NewWriteIndex() *WriteIndex {
+	return &WriteIndex{sites: make(map[string][]WriteSite)}
+}
+
+// Note records a write to name by tid at the thread's last completed tick.
+// Nil-safe, so the runtime's data path needs no guard. Consecutive writes
+// by the same thread within one inter-tick window collapse to one site.
+func (w *WriteIndex) Note(name string, tid TID, tick uint64) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	s := w.sites[name]
+	if n := len(s); n > 0 && s[n-1].TID == tid && s[n-1].Tick == tick {
+		w.mu.Unlock()
+		return
+	}
+	w.sites[name] = append(s, WriteSite{TID: tid, Tick: tick})
+	w.sorted = false
+	w.mu.Unlock()
+}
+
+// Writes returns every recorded write site for name, sorted by (Tick, TID).
+func (w *WriteIndex) Writes(name string) []WriteSite {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sortLocked()
+	return append([]WriteSite(nil), w.sites[name]...)
+}
+
+// LastWriteBefore returns the latest write to name strictly before tick,
+// i.e. the site a reverse-continue from tick lands on.
+func (w *WriteIndex) LastWriteBefore(name string, tick uint64) (WriteSite, bool) {
+	if w == nil {
+		return WriteSite{}, false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sortLocked()
+	s := w.sites[name]
+	i := sort.Search(len(s), func(i int) bool { return s[i].Tick >= tick })
+	if i == 0 {
+		return WriteSite{}, false
+	}
+	return s[i-1], true
+}
+
+// Names returns the indexed variable names, sorted.
+func (w *WriteIndex) Names() []string {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	names := make([]string, 0, len(w.sites))
+	for n := range w.sites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (w *WriteIndex) sortLocked() {
+	if w.sorted {
+		return
+	}
+	for _, s := range w.sites {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].Tick != s[j].Tick {
+				return s[i].Tick < s[j].Tick
+			}
+			return s[i].TID < s[j].TID
+		})
+	}
+	w.sorted = true
+}

@@ -1,0 +1,70 @@
+package tsan
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestWriteIndexLastWriteBefore(t *testing.T) {
+	w := NewWriteIndex()
+	// Out-of-order notes: the index sorts lazily.
+	w.Note("x", 2, 30)
+	w.Note("x", 1, 10)
+	w.Note("x", 1, 20)
+	w.Note("y", 0, 5)
+
+	sites := w.Writes("x")
+	if len(sites) != 3 || sites[0].Tick != 10 || sites[2].Tick != 30 {
+		t.Fatalf("Writes(x) = %+v, want ticks 10,20,30", sites)
+	}
+
+	cases := []struct {
+		before uint64
+		want   WriteSite
+		ok     bool
+	}{
+		{before: 35, want: WriteSite{TID: 2, Tick: 30}, ok: true},
+		{before: 30, want: WriteSite{TID: 1, Tick: 20}, ok: true}, // strictly before
+		{before: 21, want: WriteSite{TID: 1, Tick: 20}, ok: true},
+		{before: 11, want: WriteSite{TID: 1, Tick: 10}, ok: true},
+		{before: 10, ok: false},
+		{before: 0, ok: false},
+	}
+	for _, c := range cases {
+		got, ok := w.LastWriteBefore("x", c.before)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("LastWriteBefore(x, %d) = %+v/%v, want %+v/%v", c.before, got, ok, c.want, c.ok)
+		}
+	}
+	if _, ok := w.LastWriteBefore("z", 100); ok {
+		t.Error("LastWriteBefore on unknown name must report not found")
+	}
+}
+
+func TestWriteIndexCollapsesAndNames(t *testing.T) {
+	w := NewWriteIndex()
+	// Same thread writing repeatedly within one tick window (e.g. a Var
+	// updated in a loop between visible ops) collapses to one site.
+	w.Note("x", 1, 10)
+	w.Note("x", 1, 10)
+	w.Note("x", 1, 10)
+	w.Note("x", 2, 10) // different thread, same tick: kept
+	if sites := w.Writes("x"); len(sites) != 2 {
+		t.Fatalf("Writes(x) = %+v, want 2 collapsed sites", sites)
+	}
+	w.Note("a", 0, 1)
+	if names := w.Names(); !slices.Equal(names, []string{"a", "x"}) {
+		t.Fatalf("Names() = %v, want [a x]", names)
+	}
+}
+
+func TestWriteIndexNilSafe(t *testing.T) {
+	var w *WriteIndex
+	w.Note("x", 1, 1)
+	if _, ok := w.LastWriteBefore("x", 10); ok {
+		t.Fatal("nil index must report not found")
+	}
+	if w.Writes("x") != nil || w.Names() != nil {
+		t.Fatal("nil index must return no data")
+	}
+}
