@@ -14,6 +14,7 @@ package repro
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -409,6 +410,72 @@ func BenchmarkVisibleOpThreads(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRecordStreaming measures what the crash-safe streaming writer
+// adds to the record path. The hotpath sub-benchmark drives NoteSchedule
+// directly against a disk-backed recorder while the background flusher
+// runs at a production cadence: the steady state must stay zero-alloc,
+// because every allocation here is paid inside the scheduler's critical
+// section on every visible operation. The workload sub-benchmarks run the
+// same litmus program with recording off, in-memory, and streamed — the
+// end-to-end price of durability is the stream/memory delta.
+func BenchmarkRecordStreaming(b *testing.B) {
+	b.Run("hotpath", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "bench.demo2")
+		r, err := demo.NewStreamingRecorder(path, demo.StrategyQueue, 1, 2,
+			demo.StreamOptions{FlushInterval: 2 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm the spool windows past steady-state size so growth
+		// allocations land before the measurement starts.
+		const warm = 1 << 16
+		for i := 0; i < warm; i++ {
+			r.NoteSchedule(int32(i%4), uint64(i+1))
+		}
+		if err := r.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.NoteSchedule(int32(i%4), uint64(warm+i+1))
+		}
+		b.StopTimer()
+		if err := r.Close(uint64(warm + b.N)); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	p, _ := litmus.ByName("ms-queue")
+	workload := func(b *testing.B, opts func(i int) core.Options) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if res := litmus.RunOnce(p, opts(i)); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+	b.Run("workload/no-record", func(b *testing.B) {
+		workload(b, func(i int) core.Options {
+			return core.Options{Strategy: demo.StrategyQueue, Seed1: uint64(i) + 1, Seed2: 2}
+		})
+	})
+	b.Run("workload/record-memory", func(b *testing.B) {
+		workload(b, func(i int) core.Options {
+			return core.Options{Strategy: demo.StrategyQueue, Seed1: uint64(i) + 1, Seed2: 2, Record: true}
+		})
+	})
+	b.Run("workload/record-stream", func(b *testing.B) {
+		path := filepath.Join(b.TempDir(), "bench.demo2")
+		workload(b, func(i int) core.Options {
+			return core.Options{
+				Strategy: demo.StrategyQueue, Seed1: uint64(i) + 1, Seed2: 2,
+				Record: true, RecordPath: path,
+			}
+		})
+	})
 }
 
 // obsBenchOps is how many visible operations each observability benchmark

@@ -33,14 +33,22 @@ func run(args []string, out, errOut io.Writer) int {
 	verbose := fs.Bool("v", false, "dump individual events and syscalls")
 	statsFlag := fs.Bool("stats", false, "print per-stream event counts and encoded sizes as a metrics table")
 	windowFlag := fs.String("window", "", "print the stream events of tick window T1..T2 (or a single tick T)")
+	recoverFlag := fs.Bool("recover", false, "recover the longest valid prefix of a torn v2 streamed recording")
+	outFlag := fs.String("o", "", "write the (recovered) demo to this path as a v1 demo file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(errOut, "usage: demoinspect [-v] [-stats] [-window T1..T2] <demo file>")
+		fmt.Fprintln(errOut, "usage: demoinspect [-v] [-stats] [-window T1..T2] [-recover] [-o out.demo] <demo file>")
 		return 2
 	}
-	d, err := demo.ReadFile(fs.Arg(0))
+	var d *demo.Demo
+	var err error
+	if *recoverFlag {
+		d, err = demo.Recover(fs.Arg(0))
+	} else {
+		d, err = demo.ReadFile(fs.Arg(0))
+	}
 	if err != nil {
 		fmt.Fprintln(errOut, err)
 		return 1
@@ -49,6 +57,9 @@ func run(args []string, out, errOut io.Writer) int {
 	fmt.Fprintf(out, "strategy:    %s\n", d.Strategy)
 	fmt.Fprintf(out, "seeds:       %#x %#x\n", d.Seed1, d.Seed2)
 	fmt.Fprintf(out, "final tick:  %d\n", d.FinalTick)
+	if d.Truncated {
+		fmt.Fprintln(out, "truncated:   yes (recovered prefix of a crashed recording)")
+	}
 	fmt.Fprintf(out, "output hash: %#x\n", d.OutputHash)
 	fmt.Fprintf(out, "total size:  %d bytes\n", d.Size())
 	fmt.Fprintln(out, "sections:")
@@ -63,6 +74,14 @@ func run(args []string, out, errOut io.Writer) int {
 	}
 	fmt.Fprintf(out, "streams: %d queue threads, %d signals, %d asyncs, %d syscalls\n",
 		len(d.Queue.FirstTick), len(d.Signals), len(d.Asyncs), len(d.Syscalls))
+
+	if *outFlag != "" {
+		if err := d.WriteFile(*outFlag); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote:       %s (%d bytes)\n", *outFlag, d.Size())
+	}
 
 	status := 0
 	if err := d.Validate(); err != nil {

@@ -16,7 +16,7 @@
 //	         [-trials 256] [-workers 0] [-wall 0] [-seed 1]
 //	         [-minimize] [-min-budget 48]
 //	         [-corpus corpus.json] [-o race.demo] [-verify]
-//	         [-trace trace.json] [-metrics]
+//	         [-trace trace.json] [-metrics] [-record-dir dir]
 package main
 
 import (
@@ -59,6 +59,7 @@ func run(args []string, out, errOut io.Writer) int {
 	verify := fs.Bool("verify", false, "replay each written demo once more and report the result")
 	tracePath := fs.String("trace", "", "write a Chrome trace_event JSON of the hunt's tail to this path")
 	metricsFlag := fs.Bool("metrics", false, "print the observability metrics table at exit")
+	recordDir := fs.String("record-dir", "", "stream every trial's recording to this directory as it runs (crash insurance; failing trials' files are kept)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -92,8 +93,15 @@ func run(args []string, out, errOut io.Writer) int {
 		WallBudget:     *wall,
 		Minimize:       *minimize,
 		MinimizeBudget: *minBudget,
+		RecordDir:      *recordDir,
 		Trace:          sess.Tracer,
 		Metrics:        sess.Metrics,
+	}
+	if *recordDir != "" {
+		if err := os.MkdirAll(*recordDir, 0o755); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
 	}
 	fmt.Fprintf(out, "hunting in %s: %d trials over %s (master seed %d)\n",
 		p.Name, cfg.Trials, *strategies, cfg.MasterSeed)
@@ -117,6 +125,9 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		if f.Err != "" {
 			fmt.Fprintf(out, "    %s\n", f.Err)
+		}
+		if f.DemoPath != "" {
+			fmt.Fprintf(out, "    streamed recording: %s\n", f.DemoPath)
 		}
 		if *minimize && f.Demo != nil {
 			status := "did not reproduce; kept unminimized"

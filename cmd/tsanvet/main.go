@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/atomicfile"
 	"repro/internal/lint"
 )
 
@@ -79,7 +80,7 @@ func run(args []string, out, errOut io.Writer) int {
 				fmt.Fprintln(errOut, "tsanvet:", err)
 				return 2
 			}
-		} else if err := os.WriteFile(*sharing, data, 0o644); err != nil {
+		} else if err := atomicfile.WriteFile(*sharing, data, 0o644); err != nil {
 			fmt.Fprintln(errOut, "tsanvet:", err)
 			return 2
 		}

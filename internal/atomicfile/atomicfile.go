@@ -1,0 +1,61 @@
+// Package atomicfile writes files atomically: the data lands in a
+// temporary file in the destination directory, is fsynced, and is then
+// renamed over the destination. A crash mid-write leaves either the old
+// file or the new one, never a torn hybrid — the durability contract demo
+// and corpus artefacts need, since a torn demo is indistinguishable from
+// a corrupt one to ReadFile.
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// WriteFile writes data to path atomically with the given permissions.
+// The temporary file is created in path's directory so the final rename
+// never crosses a filesystem boundary. On any error the temporary file is
+// removed and the destination is left untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	// Flush file contents to stable storage before the rename publishes
+	// the name: rename-before-sync could expose an empty or partial file
+	// after a power failure.
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Best effort: persist the directory entry too, so the rename itself
+	// survives a power failure. Some filesystems reject directory syncs;
+	// the data is already safe, so such errors are not fatal.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

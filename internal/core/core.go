@@ -50,6 +50,11 @@ type Report struct {
 	Threads int
 	// Demo is the recording (nil unless Options.Record).
 	Demo *demo.Demo
+	// DemoPath is the streamed recording's file path (set only with
+	// Options.RecordPath). The file is complete once Run returns; if the
+	// process dies mid-run instead, demo.Recover reconstructs its longest
+	// valid prefix.
+	DemoPath string
 	// Leaked counts threads still live when main returned.
 	Leaked int
 	// SoftDesync reports replay output diverging from the recording while
@@ -203,7 +208,16 @@ func New(opts Options) (*Runtime, error) {
 		replayer = rp
 		seed1, seed2 = opts.Replay.Seed1, opts.Replay.Seed2
 	} else if opts.Record {
-		recorder = demo.NewRecorder(opts.Strategy, seed1, seed2)
+		if opts.RecordPath != "" {
+			var err error
+			recorder, err = demo.NewStreamingRecorder(opts.RecordPath, opts.Strategy, seed1, seed2,
+				demo.StreamOptions{FlushInterval: opts.RecordFlushInterval})
+			if err != nil {
+				return nil, fmt.Errorf("core: opening demo stream: %w", err)
+			}
+		} else {
+			recorder = demo.NewRecorder(opts.Strategy, seed1, seed2)
+		}
 	}
 	// The world must exist before the scheduler so the OnStop hook below can
 	// capture it: when the scheduler stops (Stop, desync, deadlock, wall
@@ -214,19 +228,27 @@ func New(opts Options) (*Runtime, error) {
 	if rt.world == nil {
 		rt.world = env.NewWorld(seed1 ^ seed2)
 	}
+	// A truncated demo (a crash-recovered prefix) ends mid-execution:
+	// replay stops cleanly once its last recorded tick completes instead of
+	// running ahead of the streams and hard-desynchronising.
+	var stopAt uint64
+	if opts.Replay != nil && opts.Replay.Truncated {
+		stopAt = opts.Replay.FinalTick
+	}
 	world := rt.world
 	s, err := sched.New(sched.Options{
-		Kind:      opts.Strategy,
-		Seed1:     seed1,
-		Seed2:     seed2,
-		Recorder:  recorder,
-		Replayer:  replayer,
-		MaxTicks:  opts.MaxTicks,
-		PCTDepth:  opts.PCTDepth,
-		PCTLength: opts.PCTLength,
-		Trace:     opts.Trace,
-		Metrics:   opts.Metrics,
-		OnStop:    func(error) { world.Interrupt() },
+		Kind:       opts.Strategy,
+		Seed1:      seed1,
+		Seed2:      seed2,
+		Recorder:   recorder,
+		Replayer:   replayer,
+		StopAtTick: stopAt,
+		MaxTicks:   opts.MaxTicks,
+		PCTDepth:   opts.PCTDepth,
+		PCTLength:  opts.PCTLength,
+		Trace:      opts.Trace,
+		Metrics:    opts.Metrics,
+		OnStop:     func(error) { world.Interrupt() },
 	})
 	if err != nil {
 		return nil, err
@@ -313,13 +335,31 @@ func (rt *Runtime) Run(fn func(t *Thread)) (*Report, error) {
 	if errors.Is(err, sched.ErrShutdown) {
 		err = nil // normal straggler cleanup
 	}
+	if errors.Is(err, sched.ErrReplayEnd) {
+		err = nil // clean stop at the end of a truncated demo's prefix
+	}
 	rt.mu.Lock()
 	if err == nil && rt.appErr != nil {
 		err = rt.appErr
 	}
 	rt.mu.Unlock()
 	if rt.rec != nil {
-		rep.Demo = rt.rec.Finish(rt.sch.TickCount())
+		if rt.rec.Streaming() {
+			rep.DemoPath = rt.rec.StreamPath()
+			if cerr := rt.rec.Close(rt.sch.TickCount()); cerr != nil {
+				if err == nil {
+					err = fmt.Errorf("core: closing demo stream: %w", cerr)
+				}
+			} else if d, rerr := demo.ReadFile(rep.DemoPath); rerr != nil {
+				if err == nil {
+					err = fmt.Errorf("core: reading back streamed demo: %w", rerr)
+				}
+			} else {
+				rep.Demo = d
+			}
+		} else {
+			rep.Demo = rt.rec.Finish(rt.sch.TickCount())
+		}
 	}
 	if rt.rep != nil {
 		if err == nil {

@@ -27,6 +27,17 @@ type Options struct {
 	Seed1, Seed2 uint64
 	// Record enables demo recording. Mutually exclusive with Replay.
 	Record bool
+	// RecordPath, when set (requires Record), streams the recording to an
+	// append-only v2 container at this path as the run executes, instead of
+	// accumulating it in memory for one final write. The recording of a run
+	// that crashes or is killed survives as a replayable prefix, recovered
+	// with demo.Recover. The finished demo is read back into Report.Demo;
+	// Report.DemoPath carries the path.
+	RecordPath string
+	// RecordFlushInterval is the streaming writer's background flush period
+	// (0 = 25ms default). Only meaningful with RecordPath; tests shrink it
+	// to make crash windows tight.
+	RecordFlushInterval time.Duration
 	// Replay, if non-nil, replays the given demo. The demo dictates the
 	// strategy's decisions and the PRNG seeds.
 	Replay *demo.Demo
@@ -179,6 +190,12 @@ func (o Options) Validate() error {
 	}
 	if o.Record && o.Replay != nil {
 		return errors.New("core: Record and Replay are mutually exclusive; use core.RecordOptions or core.ReplayOptions")
+	}
+	if o.RecordPath != "" && !o.Record {
+		return errors.New("core: RecordPath requires Record")
+	}
+	if o.RecordFlushInterval != 0 && o.RecordPath == "" {
+		return errors.New("core: RecordFlushInterval only applies to streaming recording (set RecordPath)")
 	}
 	if o.Replay != nil {
 		if o.Replay.Strategy != o.Strategy {

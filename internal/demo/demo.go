@@ -27,6 +27,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/atomicfile"
 	"repro/internal/rle"
 )
 
@@ -133,6 +134,12 @@ type Demo struct {
 	// used to flag soft desynchronisation (§4: a replay may satisfy all
 	// constraints yet produce output in a different order).
 	OutputHash uint64
+	// Truncated marks a demo recovered from a crashed streaming recording
+	// (see Recover): its streams are a valid prefix of the execution, not
+	// the whole run. Replay of a truncated demo stops cleanly at FinalTick
+	// instead of treating the program running past the recording's end as
+	// a desynchronisation.
+	Truncated bool
 }
 
 // DesyncError reports a hard desynchronisation: a demo constraint that the
@@ -174,8 +181,12 @@ const (
 	secSignal  = 2
 	secSyscall = 3
 	secAsync   = 4
+	secMeta    = 5
 	secEnd     = 0xFF
 )
+
+// secMeta flag bits.
+const metaTruncated = 1
 
 // Encode serialises the demo to its binary on-disk form.
 func (d *Demo) Encode() []byte {
@@ -231,6 +242,13 @@ func (d *Demo) Encode() []byte {
 		buf = append(buf, byte(a.Kind))
 		buf = binary.AppendUvarint(buf, a.Tick)
 		buf = binary.AppendUvarint(buf, uint64(uint32(a.TID)))
+	}
+
+	// META section, only emitted when a flag is set: demos without flags
+	// keep their historical byte-identical encoding.
+	if d.Truncated {
+		buf = append(buf, secMeta)
+		buf = binary.AppendUvarint(buf, metaTruncated)
 	}
 
 	buf = append(buf, secEnd)
@@ -388,6 +406,12 @@ func Decode(data []byte) (*Demo, error) {
 				}
 				d.Asyncs = append(d.Asyncs, AsyncEvent{Kind: kind, Tick: tick, TID: int32(uint32(tid))})
 			}
+		case secMeta:
+			flags, err := uv("meta flags")
+			if err != nil {
+				return nil, err
+			}
+			d.Truncated = flags&metaTruncated != 0
 		case secEnd:
 			return d, nil
 		default:
@@ -424,9 +448,11 @@ func (d *Demo) SectionSizes() map[string]int {
 	}
 }
 
-// WriteFile serialises the demo to path.
+// WriteFile serialises the demo to path. The write is atomic (temp file +
+// fsync + rename): a crash mid-write leaves the previous file intact
+// instead of a torn demo that ReadFile rejects.
 func (d *Demo) WriteFile(path string) error {
-	return os.WriteFile(path, d.Encode(), 0o644)
+	return atomicfile.WriteFile(path, d.Encode(), 0o644)
 }
 
 // WriteFile serialises d to path. It is the package-level spelling of
@@ -436,11 +462,16 @@ func WriteFile(path string, d *Demo) error {
 	return d.WriteFile(path)
 }
 
-// ReadFile loads a demo from path.
+// ReadFile loads a demo from path, accepting both the v1 single-blob form
+// and the v2 streamed container (which must be complete; use Recover for
+// files a crash tore).
 func ReadFile(path string) (*Demo, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
+	}
+	if len(data) >= len(magic2) && string(data[:len(magic2)]) == magic2 {
+		return DecodeStream(data)
 	}
 	return Decode(data)
 }

@@ -2,7 +2,10 @@ package demo
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 )
 
 // Fuzz targets: the decoder must never panic or over-allocate on arbitrary
@@ -46,6 +49,78 @@ func FuzzDecode(f *testing.F) {
 		if !bytes.Equal(enc, d2.Encode()) {
 			t.Fatal("encoding is not a fixed point")
 		}
+	})
+}
+
+// FuzzRecoverStream: the v2 scan/recover path must never panic or
+// over-allocate on arbitrary bytes — torn files are its normal input, so
+// every prefix and corruption of a real stream is in scope.
+func FuzzRecoverStream(f *testing.F) {
+	dir, err := os.MkdirTemp("", "fuzzstream")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "seed.demo2")
+	r, err := NewStreamingRecorder(path, StrategyQueue, 3, 4, StreamOptions{FlushInterval: time.Hour})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for tick := 1; tick <= 40; tick++ {
+		r.NoteSchedule(int32(tick%2), uint64(tick))
+		if tick%5 == 0 {
+			r.AddSignal(SignalEvent{TID: int32(tick % 2), Tick: uint64(tick), Sig: 2})
+			r.MixOutput([]byte{byte(tick)})
+		}
+		if tick%10 == 0 {
+			if err := r.Flush(); err != nil {
+				f.Fatal(err)
+			}
+		}
+	}
+	if err := r.Close(40); err != nil {
+		f.Fatal(err)
+	}
+	stream, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add([]byte{})
+	f.Add([]byte(magic2))
+	f.Add(stream)                   // complete
+	f.Add(stream[:len(stream)-3])   // torn tail: mid final footer
+	f.Add(stream[:len(stream)*2/3]) // mid-chunk truncation
+	f.Add(stream[:v2HeaderLen+1])   // header plus a stray byte
+	dup := append(append([]byte(nil), stream...), stream[v2HeaderLen:]...)
+	f.Add(dup) // duplicated chunk sequence after the final footer
+	corrupt := append([]byte(nil), stream...)
+	corrupt[len(corrupt)/2] ^= 0xFF
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := RecoverBytes(data)
+		if err == nil {
+			// Whatever recovers must be internally consistent enough for
+			// the replayer (recovery itself ran Validate) and must survive
+			// the v1 round trip, truncation flag included.
+			if verr := d.Validate(); verr != nil {
+				t.Fatalf("recovered demo fails validation: %v", verr)
+			}
+			if _, rerr := NewReplayer(d); rerr != nil {
+				t.Fatalf("replayer rejected recovered demo: %v", rerr)
+			}
+			d2, derr := Decode(d.Encode())
+			if derr != nil {
+				t.Fatalf("v1 round trip of recovered demo: %v", derr)
+			}
+			if d2.Truncated != d.Truncated {
+				t.Fatal("Truncated flag lost in round trip")
+			}
+		}
+		// Strict decoding must agree with recovery about complete files
+		// and never panic on the rest.
+		_, _ = DecodeStream(data)
 	})
 }
 

@@ -21,6 +21,9 @@ type Replayer struct {
 	asyncAt    map[uint64][]AsyncEvent
 	sysCursor  int
 	outputHash uint64
+	// hashInited mirrors the Recorder's explicit hash-state tracking: a
+	// mid-stream FNV state of 0 must not be mistaken for "no output yet".
+	hashInited bool
 
 	// sigsLeft and asyncsLeft count the unconsumed entries of the SIGNAL
 	// and ASYNC streams. SignalsAt/AsyncsAt run on every Tick of a replay,
@@ -192,6 +195,10 @@ func (r *Replayer) SyscallCursor() (consumed, total int) {
 func (r *Replayer) MixOutput(p []byte) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if !r.hashInited {
+		r.outputHash = fnvOffsetBasis
+		r.hashInited = true
+	}
 	r.outputHash = mixHash(r.outputHash, p)
 }
 

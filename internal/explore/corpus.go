@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/atomicfile"
 	"repro/internal/demo"
 )
 
@@ -116,7 +117,7 @@ func (c *Corpus) WriteFile(path string) error {
 			return fmt.Errorf("explore: corpus entry %d: %w", i, err)
 		}
 		e.DemoPath = fmt.Sprintf("%s-entry%d.demo", base, i)
-		if err := os.WriteFile(filepath.Join(dir, e.DemoPath), e.DemoBytes, 0o644); err != nil {
+		if err := atomicfile.WriteFile(filepath.Join(dir, e.DemoPath), e.DemoBytes, 0o644); err != nil {
 			return err
 		}
 		e.Repro = fmt.Sprintf("tsandebug -program %s -demo %s", c.Program, e.DemoPath)
@@ -128,7 +129,7 @@ func (c *Corpus) WriteFile(path string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return atomicfile.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // ReadCorpusFile loads a corpus written by WriteFile.

@@ -23,6 +23,8 @@ package explore
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -78,6 +80,13 @@ type Config struct {
 	// MinimizeBudget bounds the replays spent per failure (default 48).
 	Minimize       bool
 	MinimizeBudget int
+	// RecordDir, when set, streams every trial's recording to
+	// RecordDir/trial%06d.demo2 as the trial executes (core.Options
+	// .RecordPath), so a trial that wedges or crashes the process still
+	// leaves a recoverable prefix behind. Passing trials' files are
+	// removed; failing trials' files are kept and their paths reported in
+	// Failure.DemoPath. The directory must exist.
+	RecordDir string
 	// World, if non-nil, supplies a fresh virtual environment per trial;
 	// nil lets core derive one from the trial seeds.
 	World func() *env.World
@@ -148,6 +157,9 @@ type Failure struct {
 	Duplicates int
 	// Demo is the representative trial's recording.
 	Demo *demo.Demo
+	// DemoPath is the trial's on-disk streamed recording (set only with
+	// Config.RecordDir).
+	DemoPath string
 	// Minimized is the minimizer's output (== Demo when minimization is
 	// off, out of budget, or the original failed to reproduce).
 	Minimized *demo.Demo
@@ -271,6 +283,7 @@ func Run(cfg Config) (*Result, error) {
 			Races:     p.races,
 			Err:       p.errText,
 			Demo:      p.demo,
+			DemoPath:  p.demoPath,
 			Minimized: p.demo,
 		}
 		bySig[p.signature] = f
@@ -309,6 +322,7 @@ type trialFailure struct {
 	races     []string
 	errText   string
 	demo      *demo.Demo
+	demoPath  string
 }
 
 // trialOptions is the one place trial knobs map onto core.Options, shared
@@ -330,6 +344,9 @@ func runTrial(cfg *Config, spec TrialSpec) (Outcome, *trialFailure) {
 	opts := trialOptions(cfg, core.RecordOptions(spec.Strategy, spec.Seed1, spec.Seed2))
 	opts.PCTDepth = spec.PCTDepth
 	opts.PCTLength = spec.PCTLength
+	if cfg.RecordDir != "" {
+		opts.RecordPath = filepath.Join(cfg.RecordDir, fmt.Sprintf("trial%06d.demo2", spec.Index))
+	}
 	rt, err := core.New(opts)
 	if err != nil {
 		// A config-level error (bad PCT params, etc.) counts as a failing
@@ -347,11 +364,16 @@ func runTrial(cfg *Config, spec TrialSpec) (Outcome, *trialFailure) {
 		Duration: time.Since(t0),
 	}
 	if !rep.Failed() {
+		if rep.DemoPath != "" {
+			// Passing trials' streamed recordings are transient crash
+			// insurance; only failing trials keep theirs.
+			os.Remove(rep.DemoPath)
+		}
 		return out, nil
 	}
 	out.Failed = true
 	out.Signature = signatureOf(rep)
-	tf := &trialFailure{signature: out.Signature, demo: rep.Demo}
+	tf := &trialFailure{signature: out.Signature, demo: rep.Demo, demoPath: rep.DemoPath}
 	for _, r := range rep.Races {
 		tf.races = append(tf.races, r.String())
 	}

@@ -50,13 +50,37 @@ func countRuns(vals []uint64) int {
 	return runs
 }
 
+// maxExpansion bounds how many decoded items a single encoded byte may
+// claim, and decodeFloor is the decoded-size allowance every stream gets
+// regardless of input size. Together they cap a decoder's total output at
+// max(decodeFloor, maxExpansion*len(src)): legitimate streams sit far
+// below the bound (a 50M-tick single-run demo needs ~763 input bytes to
+// clear it), while a corrupt handful of bytes claiming a multi-GiB run
+// count is rejected before the allocation instead of after.
+const (
+	maxExpansion = 1 << 16
+	decodeFloor  = 1 << 20
+)
+
+// decodeLimit returns the maximum number of items an input of n bytes may
+// legitimately decode to.
+func decodeLimit(n int) uint64 {
+	if lim := uint64(n) * maxExpansion; lim > decodeFloor {
+		return lim
+	}
+	return decodeFloor
+}
+
 // DecodeUint64s decodes a stream produced by AppendUint64s, returning the
-// values and the number of bytes consumed.
+// values and the number of bytes consumed. The cumulative decoded length
+// is bounded by the input size (see decodeLimit), so corrupt run counts
+// cannot force huge allocations.
 func DecodeUint64s(src []byte) ([]uint64, int, error) {
 	runs, n := binary.Uvarint(src)
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("%w: run count", ErrCorrupt)
 	}
+	limit := decodeLimit(len(src))
 	off := n
 	var out []uint64
 	for r := uint64(0); r < runs; r++ {
@@ -73,9 +97,8 @@ func DecodeUint64s(src []byte) ([]uint64, int, error) {
 		if cnt == 0 {
 			return nil, 0, fmt.Errorf("%w: run %d has zero length", ErrCorrupt, r)
 		}
-		const maxReasonable = 1 << 32
-		if cnt > maxReasonable || uint64(len(out))+cnt > maxReasonable {
-			return nil, 0, fmt.Errorf("%w: run %d too long", ErrCorrupt, r)
+		if cnt > limit || uint64(len(out))+cnt > limit {
+			return nil, 0, fmt.Errorf("%w: run %d claims %d values from %d input bytes", ErrCorrupt, r, cnt, len(src))
 		}
 		for i := uint64(0); i < cnt; i++ {
 			out = append(out, val)
@@ -118,12 +141,19 @@ func DecodeBytes(src []byte) ([]byte, int, error) {
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("%w: length prefix", ErrCorrupt)
 	}
-	const maxReasonable = 1 << 32
-	if total > maxReasonable {
-		return nil, 0, fmt.Errorf("%w: implausible length %d", ErrCorrupt, total)
+	if total > decodeLimit(len(src)) {
+		return nil, 0, fmt.Errorf("%w: claimed length %d from %d input bytes", ErrCorrupt, total, len(src))
 	}
 	off := n
-	out := make([]byte, 0, total)
+	// Pre-allocate conservatively: the claimed total is attacker
+	// controlled until the body has actually been decoded, so cap the
+	// up-front allocation and let append grow the rest as real data
+	// materialises.
+	prealloc := total
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	out := make([]byte, 0, prealloc)
 	for uint64(len(out)) < total {
 		if off >= len(src) {
 			return nil, 0, fmt.Errorf("%w: truncated body", ErrCorrupt)

@@ -2,6 +2,7 @@ package rle
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 	"testing/quick"
 )
@@ -143,5 +144,65 @@ func TestDecodeCorruptInputs(t *testing.T) {
 		if _, _, err := DecodeUint64s(bad); err == nil {
 			t.Errorf("DecodeUint64s(%v) accepted corrupt input", bad)
 		}
+	}
+}
+
+// TestDecodeAllocationBounds pins the fix for the corrupt-input
+// allocation DoS: a handful of bytes used to be able to claim a ~4 GiB
+// decoded size (DecodeBytes pre-allocated the claimed total; DecodeUint64s
+// accepted run totals up to 1<<32). Claimed lengths and cumulative run
+// totals are now bounded by the input size, so these inputs must be
+// rejected as corrupt — quickly and without a large allocation.
+func TestDecodeAllocationBounds(t *testing.T) {
+	// DecodeBytes: length prefix claims 4 GiB, body is 2 bytes.
+	huge := binary.AppendUvarint(nil, 1<<32)
+	huge = append(huge, 0xFF, 0x00)
+	if _, _, err := DecodeBytes(huge); err == nil {
+		t.Fatal("DecodeBytes accepted a 4GiB claim from a few bytes")
+	}
+	// DecodeUint64s: one run claiming 2^32 values from 4 input bytes.
+	run := binary.AppendUvarint(nil, 1) // one run
+	run = binary.AppendUvarint(run, 7)  // value
+	run = binary.AppendUvarint(run, 1<<32)
+	if _, _, err := DecodeUint64s(run); err == nil {
+		t.Fatal("DecodeUint64s accepted a 2^32-value run from a few bytes")
+	}
+	// Many runs summing past the limit must be rejected too, even if each
+	// individual run is below it.
+	multi := binary.AppendUvarint(nil, 4)
+	for i := 0; i < 4; i++ {
+		multi = binary.AppendUvarint(multi, uint64(i))
+		multi = binary.AppendUvarint(multi, decodeFloor/2)
+	}
+	if _, _, err := DecodeUint64s(multi); err == nil {
+		t.Fatal("DecodeUint64s accepted cumulative runs past the input-proportional limit")
+	}
+}
+
+// TestDecodeLargeLegitimateRuns proves the bounds do not reject real
+// highly-compressed streams: a long single-value run (the queue stream of
+// a thread scheduled many times in a row) still round-trips.
+func TestDecodeLargeLegitimateRuns(t *testing.T) {
+	vals := make([]uint64, decodeFloor-1)
+	for i := range vals {
+		vals[i] = 1
+	}
+	enc := AppendUint64s(nil, vals)
+	dec, n, err := DecodeUint64s(enc)
+	if err != nil {
+		t.Fatalf("decode of legitimate %d-value run: %v", len(vals), err)
+	}
+	if n != len(enc) || len(dec) != len(vals) {
+		t.Fatalf("round trip consumed %d/%d bytes, decoded %d/%d values", n, len(enc), len(dec), len(vals))
+	}
+
+	data := make([]byte, 1<<17) // all zero: collapses to one escape run
+	encB := AppendBytes(nil, data)
+	decB, _, err := DecodeBytes(encB)
+	if err != nil {
+		t.Fatalf("decode of legitimate %d-byte zero run: %v", len(data), err)
+	}
+	if len(decB) != len(data) {
+		t.Fatalf("decoded %d bytes, want %d", len(decB), len(data))
 	}
 }

@@ -43,6 +43,11 @@ const NoTID TID = -1
 // the programs the paper studies).
 var ErrShutdown = errors.New("sched: runtime shut down")
 
+// ErrReplayEnd is the stop cause when a replay reaches Options.StopAtTick:
+// the end of a truncated (crash-recovered) demo. It is a clean stop, not a
+// desynchronisation — the replay was synchronised for every recorded tick.
+var ErrReplayEnd = errors.New("sched: replay reached the end of the recorded prefix")
+
 // Abort is the panic payload used to unwind a thread of the program under
 // test when the scheduler stops (desync, deadlock, stall, shutdown). The
 // runtime's goroutine wrappers recover it.
@@ -83,6 +88,12 @@ type Options struct {
 	// MaxTicks aborts the execution after this many critical sections
 	// (0 = unlimited).
 	MaxTicks uint64
+	// StopAtTick, if nonzero, stops the execution cleanly with ErrReplayEnd
+	// once that tick completes. Set when replaying a truncated demo (a
+	// crash-recovered prefix): the program would otherwise run past the end
+	// of the recorded streams and hard-desynchronise on the first
+	// unsatisfiable constraint.
+	StopAtTick uint64
 	// PCTDepth is the bug depth d for the PCT strategy (priority change
 	// points = d-1). Ignored by other strategies; defaults to 3.
 	PCTDepth int
@@ -381,8 +392,15 @@ func (s *Scheduler) TickEvent(tid TID, ev obs.Event) uint64 {
 	}
 	s.recent[t%uint64(len(s.recent))] = recentTick{Tick: t, TID: tid}
 
-	if s.opts.Recorder != nil && s.opts.Kind == demo.StrategyQueue {
-		s.opts.Recorder.NoteSchedule(int32(tid), t)
+	if rec := s.opts.Recorder; rec != nil {
+		if s.opts.Kind == demo.StrategyQueue {
+			rec.NoteSchedule(int32(tid), t)
+		} else {
+			// Other strategies record no QUEUE stream, but a streaming
+			// recorder still needs the tick latched for its footer
+			// candidates. No-op (no lock) for in-memory recorders.
+			rec.NoteTick(t)
+		}
 	}
 	if ev.Kind != obs.KindNone && s.tr.Enabled() {
 		ev.Tick = t
@@ -431,6 +449,15 @@ func (s *Scheduler) TickEvent(tid TID, ev obs.Event) uint64 {
 		for _, aev := range rep.AsyncsAt(t) {
 			s.applyAsyncLocked(aev)
 		}
+	}
+
+	// A truncated demo's recording ends here: stop cleanly before asking
+	// for a scheduling decision the recording cannot answer. Placed after
+	// this tick's replay deliveries so LeftoverError and the soft-desync
+	// hash comparison stay meaningful for the prefix.
+	if s.opts.StopAtTick > 0 && t >= s.opts.StopAtTick {
+		s.failLocked(ErrReplayEnd)
+		s.abortLocked()
 	}
 
 	// The scheduling decision for the next critical section.
