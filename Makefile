@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test tsanvet smoke debug-smoke crash-smoke bench
+.PHONY: check fmt vet build test tsanvet smoke mutation-smoke debug-smoke crash-smoke bench
 
 check: fmt vet build test tsanvet
 
@@ -37,6 +37,27 @@ smoke:
 	$(GO) run ./cmd/racehunt -program ms-queue -strategies rnd -trials 16 \
 		-workers 4 -seed 7 -corpus /tmp/racehunt-corpus.json -o /tmp/racehunt-race.demo
 	$(GO) run ./cmd/demoinspect /tmp/racehunt-race.demo
+
+# mutation-smoke runs the schedule-fuzzing loop end to end: a rotation-only
+# hunt over the needle program records its shallow race into a seed corpus
+# (unminimized, so the recording keeps the SIGNAL stream the mutation
+# operators need); a second hunt pre-seeded with that corpus must then reach
+# the deep race through a mutated demo — at least one failure carries a
+# lineage (ancestor signature + operator chain) into the corpus, and every
+# minimized demo must strict-replay back to a failure (-verify).
+mutation-smoke:
+	$(GO) run ./cmd/racehunt -program needle -strategies rnd -trials 120 \
+		-workers 4 -seed 4 -minimize=false \
+		-corpus /tmp/needle-seed-corpus.json | tee /tmp/mutation-smoke-seed.log
+	grep -q 'needle.trip' /tmp/mutation-smoke-seed.log
+	$(GO) run ./cmd/racehunt -program needle -strategies rnd -trials 200 \
+		-workers 4 -seed 5 -mutate -seed-corpus /tmp/needle-seed-corpus.json \
+		-verify -corpus /tmp/needle-mutation-corpus.json | tee /tmp/mutation-smoke.log
+	grep -q 'lineage: ' /tmp/mutation-smoke.log
+	grep -q 'needle.deep' /tmp/needle-mutation-corpus.json
+	grep -q '"ancestor":' /tmp/needle-mutation-corpus.json
+	grep -q 'verify: races=' /tmp/mutation-smoke.log
+	! grep -q 'verify FAILED' /tmp/mutation-smoke.log
 
 # debug-smoke drives a scripted tsandebug session over the checked-in
 # minimized ms-queue demo: run-to-tick, reverse-continue to the raced

@@ -167,3 +167,57 @@ func TestRunStats(t *testing.T) {
 		}
 	}
 }
+
+func TestRunDiffIdentical(t *testing.T) {
+	a := writeDemo(t, sampleDemo())
+	d := sampleDemo()
+	path := filepath.Join(t.TempDir(), "copy.bin")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-diff", a, path}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "demos are identical") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+// TestRunDiffGolden pins the -diff rendering: a drop-signal + inject-async
+// + header edit against the sample demo must print exactly these lines.
+func TestRunDiffGolden(t *testing.T) {
+	a := sampleDemo()
+	b := sampleDemo()
+	b.Seed1 = 0x63
+	b.Signals = nil
+	b.Asyncs = append(b.Asyncs, demo.AsyncEvent{Kind: demo.AsyncTimerWakeup, Tick: 2, TID: 1})
+	b.Syscalls[0].Ret = 7
+	pathA, pathB := writeDemo(t, a), filepath.Join(t.TempDir(), "b.bin")
+	if err := b.WriteFile(pathB); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-diff", pathA, pathB}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	golden := "header   seeds: 0xb,0x16 vs 0x63,0x16\n" +
+		"signal   only in A: tick 2        sig 15 -> thread 1\n" +
+		"async    only in B: tick 2        timer_wakeup   thread 1\n" +
+		"syscall  first mismatched record #0\n"
+	if out.String() != golden {
+		t.Errorf("diff output:\n%q\nwant:\n%q", out.String(), golden)
+	}
+}
+
+func TestRunDiffUsageAndErrors(t *testing.T) {
+	a := writeDemo(t, sampleDemo())
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-diff", a}, &out, &errOut); code != 2 {
+		t.Fatalf("one-arg -diff: run = %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-diff", a, filepath.Join(t.TempDir(), "missing.bin")}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file: run = %d, want 2", code)
+	}
+}

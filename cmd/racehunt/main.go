@@ -14,9 +14,18 @@
 //
 //	racehunt [-program ms-queue] [-strategies rnd,pct,delay,queue]
 //	         [-trials 256] [-workers 0] [-wall 0] [-seed 1]
+//	         [-mutate] [-mutation-budget 0] [-seed-corpus corpus.json]
 //	         [-minimize] [-min-budget 48]
 //	         [-corpus corpus.json] [-o race.demo] [-verify]
 //	         [-trace trace.json] [-metrics] [-record-dir dir]
+//
+// With -mutate the hunt runs two trial sources side by side: the usual
+// strategy × seed rotation, and a mutation queue that perturbs recorded
+// demos from earlier trials (swap adjacent schedule ticks, shift or inject
+// async deliveries, drop/duplicate signals, truncate-and-extend) and
+// replays each candidate divergence-tolerantly. A mutant that fails with a
+// fresh signature lands in the corpus like any other failure, carrying its
+// lineage (root ancestor plus operator chain).
 package main
 
 import (
@@ -52,6 +61,9 @@ func run(args []string, out, errOut io.Writer) int {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, capped at 8)")
 	wall := fs.Duration("wall", 0, "wall budget; stop dispatching trials after this long (0 = no limit)")
 	seed := fs.Uint64("seed", 1, "master seed; per-trial seeds derive from it")
+	mutate := fs.Bool("mutate", false, "interleave mutated-demo trials with the seed rotation (schedule fuzzing)")
+	mutBudget := fs.Int("mutation-budget", 0, "cap on mutated trials emitted (0 = no cap; requires -mutate)")
+	seedCorpus := fs.String("seed-corpus", "", "pre-seed the mutation queue with this corpus file's demos (requires -mutate)")
 	minimize := fs.Bool("minimize", true, "minimize each distinct failure's demo by re-validated replay")
 	minBudget := fs.Int("min-budget", 48, "replay budget per minimized failure")
 	corpusPath := fs.String("corpus", "", "write the JSON corpus of minimized demos to this file")
@@ -83,13 +95,40 @@ func run(args []string, out, errOut io.Writer) int {
 		strats = append(strats, strat)
 	}
 
+	if (*mutBudget != 0 || *seedCorpus != "") && !*mutate {
+		fmt.Fprintln(errOut, "-mutation-budget and -seed-corpus require -mutate")
+		return 2
+	}
+	rotation := &explore.SeedRotation{MasterSeed: *seed, Strategies: strats}
+	var source explore.TrialSource = rotation
+	if *mutate {
+		mq := &explore.MutationQueue{Seed: *seed, Budget: *mutBudget, AdoptPassing: true}
+		if *seedCorpus != "" {
+			c, err := explore.ReadCorpusFile(*seedCorpus)
+			if err != nil {
+				fmt.Fprintln(errOut, err)
+				return 1
+			}
+			if err := mq.SeedCorpus(c); err != nil {
+				fmt.Fprintln(errOut, err)
+				return 1
+			}
+		}
+		var err error
+		source, err = explore.NewWeightedSource(
+			[]explore.TrialSource{rotation, mq}, []int{1, 1})
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+	}
+
 	sess := obs.NewSession(*tracePath, *metricsFlag)
 	cfg := explore.Config{
 		Program:        explore.Program{Name: p.Name, Body: p.Body},
-		Strategies:     strats,
+		Source:         source,
 		Trials:         *trials,
 		Workers:        *workers,
-		MasterSeed:     *seed,
 		WallBudget:     *wall,
 		Minimize:       *minimize,
 		MinimizeBudget: *minBudget,
@@ -104,7 +143,7 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 	}
 	fmt.Fprintf(out, "hunting in %s: %d trials over %s (master seed %d)\n",
-		p.Name, cfg.Trials, *strategies, cfg.MasterSeed)
+		p.Name, cfg.Trials, *strategies, *seed)
 	res, err := explore.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(errOut, err)
@@ -114,12 +153,19 @@ func run(args []string, out, errOut io.Writer) int {
 	fmt.Fprintf(out, "ran %d trials in %v (%.0f trials/sec): %d failing, %d distinct, %d deduped\n",
 		res.Trials, res.Elapsed.Round(time.Millisecond), res.TrialsPerSec(),
 		res.Failing, len(res.Failures), res.DedupeHits)
+	if *mutate {
+		fmt.Fprintf(out, "mutation: %d mutated trials, %d diverged from their candidate schedule\n",
+			res.Mutants, res.DivergedTrials)
+	}
 	if res.WallExpired {
 		fmt.Fprintf(out, "wall budget expired after %d trials\n", res.Trials)
 	}
 	for i, f := range res.Failures {
 		fmt.Fprintf(out, "failure %d: trial %d (%s seed %#x), %d duplicates\n",
 			i, f.Spec.Index, f.Spec.Strategy, f.Spec.Seed1, f.Duplicates)
+		if f.Ancestor != "" {
+			fmt.Fprintf(out, "    lineage: %s <- %s\n", strings.Join(f.OpChain, "+"), f.Ancestor)
+		}
 		for _, r := range f.Races {
 			fmt.Fprintf(out, "    %s\n", r)
 		}

@@ -47,13 +47,15 @@ func main() {
 	// budget. Every trial records, so any failure is already replayable.
 	metrics := obs.NewMetrics()
 	cfg := explore.Config{
-		Program:    explore.Program{Name: "aggregator", Body: program},
-		Strategies: []demo.Strategy{demo.StrategyRandom, demo.StrategyPCT, demo.StrategyDelay},
-		Trials:     *trials,
-		Workers:    *workers,
-		MasterSeed: 1,
-		Minimize:   true,
-		Metrics:    metrics,
+		Program: explore.Program{Name: "aggregator", Body: program},
+		Source: &explore.SeedRotation{
+			MasterSeed: 1,
+			Strategies: []demo.Strategy{demo.StrategyRandom, demo.StrategyPCT, demo.StrategyDelay},
+		},
+		Trials:   *trials,
+		Workers:  *workers,
+		Minimize: true,
+		Metrics:  metrics,
 	}
 	res, err := explore.Run(cfg)
 	if err != nil {

@@ -30,9 +30,15 @@ var Programs = []Program{
 	{"ms-queue", msQueue},
 }
 
-// ByName returns the named program.
+// ByName returns the named program, searching the Table 1 suite and then
+// the synthetic Extras.
 func ByName(name string) (Program, bool) {
 	for _, p := range Programs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range Extras {
 		if p.Name == name {
 			return p, true
 		}

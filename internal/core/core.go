@@ -58,8 +58,16 @@ type Report struct {
 	// Leaked counts threads still live when main returned.
 	Leaked int
 	// SoftDesync reports replay output diverging from the recording while
-	// all hard constraints held (§4).
+	// all hard constraints held (§4). Under tolerant replay modes a
+	// diverged execution is expected to produce different output, so
+	// SoftDesync stays false once Diverged is set.
 	SoftDesync bool
+	// Diverged marks where a tolerant replay (Options.ReplayMode) left the
+	// demo's constraints and went live. Nil for strict replays and for
+	// tolerant replays that stayed synchronised end to end. Divergence is
+	// not a failure: under ReplayTolerantRecord the divergent execution is
+	// re-recorded into Demo as a new strict-replayable demo.
+	Diverged *demo.Diverged
 	// Output is the program's collected observable output.
 	Output []byte
 	// Err is the abnormal-termination cause: a *demo.DesyncError for hard
@@ -201,12 +209,21 @@ func New(opts Options) (*Runtime, error) {
 	var recorder *demo.Recorder
 	var replayer *demo.Replayer
 	if opts.Replay != nil {
-		rp, err := demo.NewReplayer(opts.Replay)
+		rp, err := demo.NewReplayer(opts.Replay, opts.ReplayMode)
 		if err != nil {
 			return nil, err
 		}
 		replayer = rp
 		seed1, seed2 = opts.Replay.Seed1, opts.Replay.Seed2
+		if opts.ReplayMode == demo.ReplayTolerantRecord {
+			// The divergence-recording handoff is trivial by construction:
+			// rather than splicing a recorded suffix onto the demo's prefix
+			// at the divergence point, a full recorder runs from tick 1, so
+			// the new demo is simply the recording of whatever executed —
+			// bit-synchronised under strict replay whether or not the run
+			// ever diverged.
+			recorder = demo.NewRecorder(opts.Strategy, seed1, seed2)
+		}
 	} else if opts.Record {
 		if opts.RecordPath != "" {
 			var err error
@@ -362,20 +379,23 @@ func (rt *Runtime) Run(fn func(t *Thread)) (*Report, error) {
 		}
 	}
 	if rt.rep != nil {
-		if err == nil {
-			if lerr := rt.rep.LeftoverError(rt.sch.TickCount()); lerr != nil {
-				err = lerr
-				// Desyncs raised mid-run flow through the scheduler's
-				// failLocked and are traced there; leftover constraints are
-				// only discovered here, so trace them here.
-				var lde *demo.DesyncError
-				if errors.As(lerr, &lde) && rt.tr.Enabled() {
-					rt.tr.Emit(obs.Event{Tick: lde.Tick, TID: lde.TID, Kind: obs.KindDesync,
-						Stream: obs.StreamFromName(lde.Stream), Offset: lde.Offset})
-				}
+		oc := rt.rep.Outcome(rt.sch.TickCount())
+		if err == nil && oc.Err != nil {
+			err = oc.Err
+			// Desyncs raised mid-run flow through the scheduler's
+			// failLocked and are traced there; leftover constraints are
+			// only discovered here, so trace them here.
+			var lde *demo.DesyncError
+			if errors.As(oc.Err, &lde) && rt.tr.Enabled() {
+				rt.tr.Emit(obs.Event{Tick: lde.Tick, TID: lde.TID, Kind: obs.KindDesync,
+					Stream: obs.StreamFromName(lde.Stream), Offset: lde.Offset})
 			}
 		}
-		rep.SoftDesync = rt.rep.SoftDesynced()
+		rep.Diverged = oc.Diverged
+		// A diverged tolerant replay legitimately produces different
+		// output; only an undiverged replay's hash mismatch is a soft
+		// desync worth flagging.
+		rep.SoftDesync = oc.SoftDesync && oc.Diverged == nil
 	}
 	rep.Err = err
 	if err != nil {

@@ -41,6 +41,16 @@ type Options struct {
 	// Replay, if non-nil, replays the given demo. The demo dictates the
 	// strategy's decisions and the PRNG seeds.
 	Replay *demo.Demo
+	// ReplayMode selects how strictly the replay is held to the demo
+	// (requires Replay). The zero value is demo.ReplayStrict — the paper's
+	// contract, any mismatch a hard desync. demo.ReplayTolerant enforces
+	// each recorded decision only while feasible and falls back to the live
+	// strategy at the first infeasible one, reporting Report.Diverged
+	// instead of an error. demo.ReplayTolerantRecord additionally
+	// re-records the whole execution (replayed prefix + live suffix) into
+	// Report.Demo as a new strict-replayable demo; Record must be left
+	// false — the recorder is implicit.
+	ReplayMode demo.ReplayMode
 	// DisableRaces turns the race detector's happens-before analysis off
 	// entirely (the "native-ish" configurations). Detection is on by
 	// default because integrating it is the point of the tool.
@@ -154,6 +164,18 @@ func ReplayOptions(d *demo.Demo) Options {
 	}
 }
 
+// TolerantReplayOptions returns the schedule-fuzzing replay configuration:
+// ReplayOptions with divergence tolerance and re-recording on, so running
+// a mutated (possibly infeasible) demo yields a Report whose Demo is a new
+// strict-replayable recording of whatever actually executed, and whose
+// Diverged field marks where (if anywhere) the candidate schedule stopped
+// being achievable.
+func TolerantReplayOptions(d *demo.Demo) Options {
+	o := ReplayOptions(d)
+	o.ReplayMode = demo.ReplayTolerantRecord
+	return o
+}
+
 // UncontrolledOptions returns the paper's uncontrolled baselines: the
 // program runs on the raw Go scheduler with race detection on (the plain
 // tsan11 configuration), or with disableRaces also uninstrumented — the
@@ -206,8 +228,19 @@ func (o Options) Validate() error {
 			return errors.New("core: Seed1/Seed2 must be zero during replay: the demo header provides the seeds (use core.ReplayOptions)")
 		}
 	}
+	if o.ReplayMode != demo.ReplayStrict {
+		if o.Replay == nil {
+			return fmt.Errorf("core: ReplayMode %s requires Replay", o.ReplayMode)
+		}
+		if o.Record {
+			return errors.New("core: Record must be left false under tolerant replay modes; ReplayTolerantRecord records implicitly")
+		}
+	}
 	if o.Debug != nil && o.Replay == nil {
 		return errors.New("core: Debug requires Replay: the debugger pauses and restarts deterministic replays")
+	}
+	if o.Debug != nil && o.ReplayMode != demo.ReplayStrict {
+		return errors.New("core: Debug requires strict replay: checkpoints assume bit-identical re-execution")
 	}
 	if o.DisableRaces && o.ReportRaces {
 		return errors.New("core: ReportRaces requires race detection, which DisableRaces turns off")

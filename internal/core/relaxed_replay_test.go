@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/demo"
+	"repro/internal/prng"
+)
+
+// Relaxed-replay property: mutate a recorded demo into a candidate
+// schedule that may be infeasible, replay it under ReplayTolerantRecord,
+// and require that whatever actually executed re-recorded into a
+// Validate-clean demo whose *strict* replay is bit-synchronised — same
+// ticks, same output, same races, no desync. This is the contract the
+// schedule-fuzzing loop in internal/explore stands on: divergence never
+// produces an unreplayable artifact.
+
+func runTolerantMutant(t *testing.T, cfg genConfig, m *demo.Demo) *Report {
+	t.Helper()
+	rt, err := New(TolerantReplayOptions(m))
+	if err != nil {
+		t.Fatalf("tolerant runtime: %v", err)
+	}
+	rep, _ := rt.Run(genProgram(cfg)(rt))
+	return rep
+}
+
+func TestPropertyMutatedDemosRereplayExactly(t *testing.T) {
+	diverged, clean := 0, 0
+	rng := prng.New(0xfa22, 0x1e57)
+	for _, strat := range []demo.Strategy{demo.StrategyRandom, demo.StrategyQueue} {
+		for seed := uint64(0); seed < 20; seed++ {
+			cfg := genConfig{
+				threads: 2 + int(seed%3),
+				opsPer:  5 + int(seed%16),
+				seed:    seed * 2654435761,
+			}
+			rec := runRecorded(t, strat, cfg, seed)
+			mutant, op, err := demo.MutateOnce(rec.Demo, rng, nil)
+			if err != nil {
+				// Tiny demos can reject every operator; that is the
+				// operator contract, not a failure.
+				continue
+			}
+			rep := runTolerantMutant(t, cfg, mutant)
+			if rep.Err != nil {
+				// A mutated schedule can steer the program into a genuine
+				// failure (e.g. a pipe-read deadlock) — legitimate, but the
+				// bit-sync comparison below assumes a run that completed.
+				continue
+			}
+			if rep.Diverged != nil {
+				diverged++
+				if rep.Diverged.Tick == 0 || rep.Diverged.Reason == "" {
+					t.Errorf("%v seed %d op %s: empty divergence %+v", strat, seed, op, rep.Diverged)
+				}
+			}
+			if rep.SoftDesync {
+				t.Errorf("%v seed %d op %s: tolerant replay flagged SoftDesync", strat, seed, op)
+			}
+			if rep.Demo == nil {
+				t.Fatalf("%v seed %d op %s: tolerant-record replay produced no demo", strat, seed, op)
+			}
+			if verr := rep.Demo.Validate(); verr != nil {
+				t.Fatalf("%v seed %d op %s: re-recording invalid: %v", strat, seed, op, verr)
+			}
+			clean++
+			re := runReplayed(t, strat, cfg, rep.Demo)
+			if re.Ticks != rep.Ticks {
+				t.Errorf("%v seed %d op %s: strict re-replay ticks %d != %d", strat, seed, op, re.Ticks, rep.Ticks)
+			}
+			if string(re.Output) != string(rep.Output) {
+				t.Errorf("%v seed %d op %s: strict re-replay output %q != %q", strat, seed, op, re.Output, rep.Output)
+			}
+			if re.RaceCount() != rep.RaceCount() {
+				t.Errorf("%v seed %d op %s: strict re-replay races %d != %d", strat, seed, op, re.RaceCount(), rep.RaceCount())
+			}
+			if re.SoftDesync {
+				t.Errorf("%v seed %d op %s: strict re-replay soft-desynced", strat, seed, op)
+			}
+		}
+	}
+	if clean == 0 {
+		t.Fatal("no mutant completed cleanly; the property was never exercised")
+	}
+	if diverged == 0 {
+		t.Fatal("no mutant diverged; the relaxed-replay path was never exercised")
+	}
+	t.Logf("exercised %d clean mutant runs, %d diverged", clean, diverged)
+}
+
+// TestTolerantReplayOfUnmutatedDemo: tolerance must be a strict superset —
+// replaying an unmodified recording tolerantly behaves exactly like strict
+// replay and reports no divergence.
+func TestTolerantReplayOfUnmutatedDemo(t *testing.T) {
+	for _, strat := range []demo.Strategy{demo.StrategyRandom, demo.StrategyQueue} {
+		cfg := genConfig{threads: 3, opsPer: 12, seed: 0xbeef}
+		rec := runRecorded(t, strat, cfg, 7)
+		rep := runTolerantMutant(t, cfg, rec.Demo)
+		if rep.Err != nil {
+			t.Fatalf("%v: tolerant replay of clean demo errored: %v", strat, rep.Err)
+		}
+		if rep.Diverged != nil {
+			t.Fatalf("%v: tolerant replay of clean demo diverged: %v", strat, rep.Diverged)
+		}
+		if rep.SoftDesync || string(rep.Output) != string(rec.Output) || rep.Ticks != rec.Ticks {
+			t.Fatalf("%v: tolerant replay of clean demo not bit-synchronised", strat)
+		}
+		if rep.Demo == nil || rep.Demo.Validate() != nil {
+			t.Fatalf("%v: tolerant-record replay of clean demo left no valid recording", strat)
+		}
+	}
+}
+
+// TestDivergenceIsNotAFailure: a diverged run with no races and no error
+// must not count as failed — divergence means "candidate infeasible", and
+// the fuzzing loop treats its re-recording as a fresh trial, not a bug.
+func TestDivergenceIsNotAFailure(t *testing.T) {
+	cfg := genConfig{threads: 3, opsPer: 14, seed: 0x5eed}
+	rec := runRecorded(t, demo.StrategyQueue, cfg, 3)
+	// Swapping adjacent queue ticks until tolerant replay actually
+	// diverges; the demo has enough cross-thread adjacency that a handful
+	// of draws suffice.
+	rng := prng.New(9, 9)
+	for attempt := 0; attempt < 32; attempt++ {
+		mutant, _, err := demo.MutateOnce(rec.Demo, rng, []demo.MutationOp{})
+		if err != nil {
+			t.Fatalf("mutate: %v", err)
+		}
+		rep := runTolerantMutant(t, cfg, mutant)
+		if rep.Diverged == nil || rep.Err != nil {
+			continue
+		}
+		if len(rep.Races) == 0 && rep.Failed() {
+			t.Fatalf("diverged race-free run reported Failed: %+v", rep)
+		}
+		return
+	}
+	t.Skip("no mutant diverged cleanly in 32 draws; property covered by TestPropertyMutatedDemosRereplayExactly")
+}

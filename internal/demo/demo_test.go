@@ -147,7 +147,7 @@ func TestReplayerScheduleReconstruction(t *testing.T) {
 		r.NoteSchedule(tid, uint64(i+1))
 	}
 	d := r.Finish(uint64(len(seq)))
-	rep, err := NewReplayer(d)
+	rep, err := NewReplayer(d, ReplayStrict)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestReplayerScheduleRoundTripProperty(t *testing.T) {
 			r.NoteSchedule(seq[i], uint64(i+1))
 		}
 		d := r.Finish(uint64(len(seq)))
-		rep, err := NewReplayer(d)
+		rep, err := NewReplayer(d, ReplayStrict)
 		if err != nil {
 			return false
 		}
@@ -192,19 +192,19 @@ func TestReplayerSyscallCursor(t *testing.T) {
 		{TID: 0, Kind: 3, Ret: 1},
 		{TID: 1, Kind: 9, Ret: 2},
 	}}
-	rep, err := NewReplayer(d)
+	rep, err := NewReplayer(d, ReplayStrict)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := rep.NextSyscall(0, 3, 1)
-	if err != nil || rec.Ret != 1 {
-		t.Fatalf("first syscall: %v %v", rec, err)
+	rec, replayed, err := rep.NextSyscall(0, 3, 1)
+	if err != nil || !replayed || rec.Ret != 1 {
+		t.Fatalf("first syscall: %v %v %v", rec, replayed, err)
 	}
-	if _, err := rep.NextSyscall(0, 3, 2); err == nil {
+	if _, _, err := rep.NextSyscall(0, 3, 2); err == nil {
 		t.Fatal("mismatched syscall accepted")
 	}
 	var de *DesyncError
-	_, err = rep.NextSyscall(1, 9, 2)
+	_, _, err = rep.NextSyscall(1, 9, 2)
 	if !errors.As(err, &de) {
 		// The previous mismatch consumed nothing; this matches.
 		if err != nil {
@@ -213,16 +213,50 @@ func TestReplayerSyscallCursor(t *testing.T) {
 	}
 }
 
+// TestTolerantSyscallDivergence: under a tolerant mode a syscall mismatch
+// is not an error — the replay marks itself diverged, tells the caller to
+// go live, and cuts off every remaining stream.
+func TestTolerantSyscallDivergence(t *testing.T) {
+	d := &Demo{Strategy: StrategyRandom, FinalTick: 9,
+		Syscalls: []SyscallRecord{{TID: 0, Kind: 3, Ret: 1}},
+		Signals:  []SignalEvent{{TID: 0, Tick: 5, Sig: 15}},
+	}
+	rep, err := NewReplayer(d, ReplayTolerant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, replayed, err := rep.NextSyscall(1, 7, 2); err != nil || replayed {
+		t.Fatalf("tolerant mismatch: replayed=%v err=%v", replayed, err)
+	}
+	if !rep.DivergedNow() || rep.Divergence() == nil || rep.Divergence().Tick != 2 {
+		t.Fatalf("divergence not recorded: %+v", rep.Divergence())
+	}
+	if sigs := rep.SignalsAt(0, 5); sigs != nil {
+		t.Fatalf("diverged replay still delivered signals: %v", sigs)
+	}
+	oc := rep.Outcome(9)
+	if oc.Err != nil || oc.Diverged == nil || oc.Mode != ReplayTolerant {
+		t.Fatalf("tolerant outcome: %+v", oc)
+	}
+	// A strict replayer over the same streams reports leftovers as Err and
+	// never a divergence.
+	strict, _ := NewReplayer(d, ReplayStrict)
+	soc := strict.Outcome(9)
+	if soc.Err == nil || soc.Diverged != nil {
+		t.Fatalf("strict outcome: %+v", soc)
+	}
+}
+
 func TestReplayerLeftovers(t *testing.T) {
 	d := &Demo{Strategy: StrategyRandom, Signals: []SignalEvent{{TID: 0, Tick: 3, Sig: 15}}}
-	rep, err := NewReplayer(d)
+	rep, err := NewReplayer(d, ReplayStrict)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := rep.LeftoverError(10); err == nil {
 		t.Error("undelivered signal not reported")
 	}
-	rep2, _ := NewReplayer(d)
+	rep2, _ := NewReplayer(d, ReplayStrict)
 	if sigs := rep2.SignalsAt(0, 3); len(sigs) != 1 || sigs[0] != 15 {
 		t.Fatalf("SignalsAt = %v", sigs)
 	}
@@ -235,12 +269,12 @@ func TestSoftDesyncDetection(t *testing.T) {
 	r := NewRecorder(StrategyRandom, 1, 2)
 	r.MixOutput([]byte("hello"))
 	d := r.Finish(5)
-	rep, _ := NewReplayer(d)
+	rep, _ := NewReplayer(d, ReplayStrict)
 	rep.MixOutput([]byte("hello"))
 	if rep.SoftDesynced() {
 		t.Error("identical output reported as soft desync")
 	}
-	rep2, _ := NewReplayer(d)
+	rep2, _ := NewReplayer(d, ReplayStrict)
 	rep2.MixOutput([]byte("world"))
 	if !rep2.SoftDesynced() {
 		t.Error("diverged output not reported")

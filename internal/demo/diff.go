@@ -1,0 +1,148 @@
+// Tick-aligned demo diffing: what demoinspect -diff prints so a mutated
+// demo's edit relative to its ancestor (or a divergent re-recording
+// relative to the original) is inspectable without decoding streams by
+// hand.
+package demo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DemoDiff is the structured difference between two demos.
+type DemoDiff struct {
+	// Header lists rendered header-field differences ("strategy: queue vs
+	// random"). Empty when the headers agree.
+	Header []string
+	// ScheduleDiverges reports whether the per-tick queue schedules
+	// disagree; FirstDivergentTick is the first tick where they do (also
+	// set when one schedule simply ends before the other). Meaningful only
+	// when both demos use the queue strategy — for the seed-determined
+	// strategies the schedule is implied by the header seeds, which the
+	// Header diff already covers.
+	ScheduleDiverges   bool
+	FirstDivergentTick uint64
+	// SignalsOnlyA/B and AsyncsOnlyA/B are the multiset differences of the
+	// SIGNAL and ASYNC streams, sorted by tick.
+	SignalsOnlyA, SignalsOnlyB []SignalEvent
+	AsyncsOnlyA, AsyncsOnlyB   []AsyncEvent
+	// SyscallMismatch is the index of the first differing SYSCALL record
+	// (counting a length difference), -1 when the streams match.
+	SyscallMismatch int
+}
+
+// Identical reports whether the diff found no difference at all.
+func (df *DemoDiff) Identical() bool {
+	return len(df.Header) == 0 && !df.ScheduleDiverges &&
+		len(df.SignalsOnlyA) == 0 && len(df.SignalsOnlyB) == 0 &&
+		len(df.AsyncsOnlyA) == 0 && len(df.AsyncsOnlyB) == 0 &&
+		df.SyscallMismatch < 0
+}
+
+// Diff computes the tick-aligned difference between demos a and b.
+func Diff(a, b *Demo) *DemoDiff {
+	df := &DemoDiff{SyscallMismatch: -1}
+	if a.Strategy != b.Strategy {
+		df.Header = append(df.Header, fmt.Sprintf("strategy: %s vs %s", a.Strategy, b.Strategy))
+	}
+	if a.Seed1 != b.Seed1 || a.Seed2 != b.Seed2 {
+		df.Header = append(df.Header, fmt.Sprintf("seeds: %#x,%#x vs %#x,%#x", a.Seed1, a.Seed2, b.Seed1, b.Seed2))
+	}
+	if a.FinalTick != b.FinalTick {
+		df.Header = append(df.Header, fmt.Sprintf("final tick: %d vs %d", a.FinalTick, b.FinalTick))
+	}
+	if a.OutputHash != b.OutputHash {
+		df.Header = append(df.Header, fmt.Sprintf("output hash: %#x vs %#x", a.OutputHash, b.OutputHash))
+	}
+	if a.Truncated != b.Truncated {
+		df.Header = append(df.Header, fmt.Sprintf("truncated: %v vs %v", a.Truncated, b.Truncated))
+	}
+
+	if a.Strategy == StrategyQueue && b.Strategy == StrategyQueue {
+		sa, errA := a.queueSchedule()
+		sb, errB := b.queueSchedule()
+		if errA == nil && errB == nil {
+			limit := len(sa)
+			if len(sb) < limit {
+				limit = len(sb)
+			}
+			for t := 1; t < limit; t++ {
+				if sa[t] != sb[t] {
+					df.ScheduleDiverges = true
+					df.FirstDivergentTick = uint64(t)
+					break
+				}
+			}
+			if !df.ScheduleDiverges && len(sa) != len(sb) {
+				df.ScheduleDiverges = true
+				df.FirstDivergentTick = uint64(limit)
+			}
+		}
+	}
+
+	df.SignalsOnlyA, df.SignalsOnlyB = diffMultiset(a.Signals, b.Signals,
+		func(ev SignalEvent) string { return fmt.Sprintf("%d|%d|%d", ev.TID, ev.Tick, ev.Sig) })
+	sort.Slice(df.SignalsOnlyA, func(i, j int) bool { return df.SignalsOnlyA[i].Tick < df.SignalsOnlyA[j].Tick })
+	sort.Slice(df.SignalsOnlyB, func(i, j int) bool { return df.SignalsOnlyB[i].Tick < df.SignalsOnlyB[j].Tick })
+	df.AsyncsOnlyA, df.AsyncsOnlyB = diffMultiset(a.Asyncs, b.Asyncs,
+		func(ev AsyncEvent) string { return fmt.Sprintf("%d|%d|%d", ev.Kind, ev.TID, ev.Tick) })
+	sort.Slice(df.AsyncsOnlyA, func(i, j int) bool { return df.AsyncsOnlyA[i].Tick < df.AsyncsOnlyA[j].Tick })
+	sort.Slice(df.AsyncsOnlyB, func(i, j int) bool { return df.AsyncsOnlyB[i].Tick < df.AsyncsOnlyB[j].Tick })
+
+	limit := len(a.Syscalls)
+	if len(b.Syscalls) < limit {
+		limit = len(b.Syscalls)
+	}
+	for i := 0; i < limit; i++ {
+		if !syscallEqual(a.Syscalls[i], b.Syscalls[i]) {
+			df.SyscallMismatch = i
+			break
+		}
+	}
+	if df.SyscallMismatch < 0 && len(a.Syscalls) != len(b.Syscalls) {
+		df.SyscallMismatch = limit
+	}
+	return df
+}
+
+// diffMultiset returns the elements of a not matched in b and vice versa,
+// pairing equal-keyed elements off against each other.
+func diffMultiset[E any](a, b []E, key func(E) string) (onlyA, onlyB []E) {
+	counts := make(map[string]int)
+	for _, ev := range b {
+		counts[key(ev)]++
+	}
+	for _, ev := range a {
+		k := key(ev)
+		if counts[k] > 0 {
+			counts[k]--
+		} else {
+			onlyA = append(onlyA, ev)
+		}
+	}
+	counts = make(map[string]int)
+	for _, ev := range a {
+		counts[key(ev)]++
+	}
+	for _, ev := range b {
+		k := key(ev)
+		if counts[k] > 0 {
+			counts[k]--
+		} else {
+			onlyB = append(onlyB, ev)
+		}
+	}
+	return onlyA, onlyB
+}
+
+func syscallEqual(a, b SyscallRecord) bool {
+	if a.TID != b.TID || a.Kind != b.Kind || a.Ret != b.Ret || a.Errno != b.Errno || len(a.Bufs) != len(b.Bufs) {
+		return false
+	}
+	for i := range a.Bufs {
+		if string(a.Bufs[i]) != string(b.Bufs[i]) {
+			return false
+		}
+	}
+	return true
+}

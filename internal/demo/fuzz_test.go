@@ -2,10 +2,13 @@ package demo
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"repro/internal/prng"
 )
 
 // Fuzz targets: the decoder must never panic or over-allocate on arbitrary
@@ -38,7 +41,7 @@ func FuzzDecode(f *testing.F) {
 		// constructor without panicking — a diagnostic error is fine, an
 		// index/alloc panic is the bug class this corpus pins down.
 		_ = d.Validate()
-		_, _ = NewReplayer(d)
+		_, _ = NewReplayer(d, ReplayStrict)
 		// Whatever decodes must re-encode and decode to the same bytes
 		// (canonical form round trip).
 		enc := d.Encode()
@@ -107,7 +110,7 @@ func FuzzRecoverStream(f *testing.F) {
 			if verr := d.Validate(); verr != nil {
 				t.Fatalf("recovered demo fails validation: %v", verr)
 			}
-			if _, rerr := NewReplayer(d); rerr != nil {
+			if _, rerr := NewReplayer(d, ReplayStrict); rerr != nil {
 				t.Fatalf("replayer rejected recovered demo: %v", rerr)
 			}
 			d2, derr := Decode(d.Encode())
@@ -121,6 +124,45 @@ func FuzzRecoverStream(f *testing.F) {
 		// Strict decoding must agree with recovery about complete files
 		// and never panic on the rest.
 		_, _ = DecodeStream(data)
+	})
+}
+
+// FuzzMutate: mutation operators sit downstream of the decoder, so any
+// demo that decodes *and validates* is fair input. The operator contract
+// is all-or-nothing — a Validate-clean mutant or an ErrNotApplicable
+// rejection — so anything else (a panic, a silently invalid mutant, a
+// non-rejection error) is a bug this target pins down.
+func FuzzMutate(f *testing.F) {
+	f.Add(sampleDemo().Encode(), uint64(1))
+	f.Add((&Demo{Strategy: StrategyRandom, Seed1: 1, Seed2: 2, FinalTick: 6}).Encode(), uint64(7))
+	f.Add((&Demo{Strategy: StrategyPCT, Seed1: 3, Seed2: 4, FinalTick: 2,
+		Asyncs: []AsyncEvent{{Kind: AsyncReschedule, Tick: 1}}}).Encode(), uint64(0))
+	f.Add((&Demo{Strategy: StrategyDelay, Seed1: 5, Seed2: 6, FinalTick: 9,
+		Signals: []SignalEvent{{TID: 1, Tick: 4, Sig: 2}}}).Encode(), uint64(42))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		d, err := Decode(data)
+		if err != nil || d.Validate() != nil {
+			return
+		}
+		rng := prng.New(seed, seed^0xab5e)
+		m, op, merr := MutateOnce(d, rng, nil)
+		if merr != nil {
+			if !errors.Is(merr, ErrNotApplicable) {
+				t.Fatalf("MutateOnce on a valid demo returned a non-rejection error: %v", merr)
+			}
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("operator %s emitted an invalid mutant: %v", op, verr)
+		}
+		// A valid mutant must survive the wire format and the replayer
+		// constructor like any recorded demo.
+		if _, derr := Decode(m.Encode()); derr != nil {
+			t.Fatalf("mutant does not round-trip: %v", derr)
+		}
+		if _, rerr := NewReplayer(m, ReplayTolerantRecord); rerr != nil {
+			t.Fatalf("tolerant replayer rejected a valid mutant: %v", rerr)
+		}
 	})
 }
 
@@ -140,7 +182,7 @@ func FuzzRoundTripThroughReplayer(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decode of recorded demo: %v", err)
 		}
-		rep, err := NewReplayer(d2)
+		rep, err := NewReplayer(d2, ReplayStrict)
 		if err != nil {
 			t.Fatalf("replayer rejected round-tripped demo: %v", err)
 		}

@@ -1,16 +1,73 @@
 package demo
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
 
+// ReplayMode selects how strictly a Replayer holds the execution to the
+// demo's constraint streams.
+type ReplayMode uint8
+
+const (
+	// ReplayStrict is the paper's contract: every recorded constraint must
+	// be satisfied exactly, and any mismatch is a hard desynchronisation
+	// (*DesyncError). The zero value, so existing call sites keep strict
+	// semantics.
+	ReplayStrict ReplayMode = iota
+	// ReplayTolerant enforces each recorded decision only while it is
+	// feasible (the demanded thread runnable, the demanded syscall issued).
+	// The first infeasible constraint marks the replay diverged: the
+	// remaining streams are abandoned and the live strategy takes over,
+	// surfacing a Diverged outcome instead of a DesyncError.
+	ReplayTolerant
+	// ReplayTolerantRecord is ReplayTolerant with the divergent execution
+	// re-recorded: the caller runs a Recorder alongside the Replayer from
+	// tick 1, so the resulting demo captures the replayed prefix and the
+	// live suffix as one strict-replayable recording.
+	ReplayTolerantRecord
+)
+
+func (m ReplayMode) String() string {
+	switch m {
+	case ReplayStrict:
+		return "strict"
+	case ReplayTolerant:
+		return "tolerant"
+	case ReplayTolerantRecord:
+		return "tolerant-record"
+	default:
+		return fmt.Sprintf("ReplayMode(%d)", uint8(m))
+	}
+}
+
+// Diverged marks the point where a tolerant replay left the demo's
+// constraints and fell back to the live strategy.
+type Diverged struct {
+	// Tick is the first tick the demo no longer dictated.
+	Tick uint64
+	// Reason names the infeasible constraint.
+	Reason string
+}
+
+func (d *Diverged) String() string {
+	return fmt.Sprintf("diverged at tick %d: %s", d.Tick, d.Reason)
+}
+
 // Replayer exposes a Demo's constraint streams as consumable cursors for
 // the scheduler and syscall layer. All methods are safe for concurrent use.
 type Replayer struct {
-	mu sync.Mutex
-	d  *Demo
+	mu   sync.Mutex
+	d    *Demo
+	mode ReplayMode
+
+	// div records the first divergence of a tolerant replay; divFlag
+	// mirrors it atomically so the per-tick stream accessors can cut off
+	// without the mutex.
+	div     *Diverged
+	divFlag atomic.Bool
 
 	// schedule[t] is the thread that must run critical section t
 	// (1-based), reconstructed from the queue stream. Nil for the random
@@ -39,10 +96,13 @@ type sigKey struct {
 	tick uint64
 }
 
-// NewReplayer builds a Replayer for d. It validates the queue stream's
-// internal consistency up front.
-func NewReplayer(d *Demo) (*Replayer, error) {
-	r := &Replayer{d: d,
+// NewReplayer builds a Replayer for d running under the given mode. It
+// validates the queue stream's internal consistency up front.
+func NewReplayer(d *Demo, mode ReplayMode) (*Replayer, error) {
+	if mode > ReplayTolerantRecord {
+		return nil, fmt.Errorf("demo: unknown replay mode %d", uint8(mode))
+	}
+	r := &Replayer{d: d, mode: mode,
 		signalAt: make(map[sigKey][]int32),
 		asyncAt:  make(map[uint64][]AsyncEvent),
 	}
@@ -111,10 +171,47 @@ func (d *Demo) queueSchedule() ([]int32, error) {
 // Demo returns the underlying demo.
 func (r *Replayer) Demo() *Demo { return r.d }
 
+// Mode returns the replay mode the Replayer was built with.
+func (r *Replayer) Mode() ReplayMode { return r.mode }
+
+// Tolerant reports whether the replayer runs under either tolerant mode.
+func (r *Replayer) Tolerant() bool { return r.mode != ReplayStrict }
+
+// DivergedNow reports whether a tolerant replay has already left the
+// demo's constraints. Lock-free: it runs on every tick and syscall.
+func (r *Replayer) DivergedNow() bool { return r.divFlag.Load() }
+
+// NoteDiverged marks the replay diverged at tick for the given reason.
+// Only the first divergence is kept; later calls are no-ops. From this
+// point every stream accessor returns "nothing recorded", so the live
+// strategy owns the rest of the execution. Panics on a strict replayer —
+// strict replays hard-desync instead of diverging.
+func (r *Replayer) NoteDiverged(tick uint64, reason string) {
+	if r.mode == ReplayStrict {
+		panic("demo: NoteDiverged on a strict replayer")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.div != nil {
+		return
+	}
+	r.div = &Diverged{Tick: tick, Reason: reason}
+	r.divFlag.Store(true)
+}
+
+// Divergence returns the first divergence of a tolerant replay, nil while
+// (or if) the replay is still synchronised.
+func (r *Replayer) Divergence() *Diverged {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.div
+}
+
 // ScheduledAt returns the thread required to run critical section t under
-// the queue strategy, or -1 past the end of the recording.
+// the queue strategy, or -1 past the end of the recording (or, in a
+// tolerant replay, after divergence — the schedule no longer binds).
 func (r *Replayer) ScheduledAt(t uint64) int32 {
-	if r.schedule == nil || t >= uint64(len(r.schedule)) {
+	if r.schedule == nil || t >= uint64(len(r.schedule)) || r.divFlag.Load() {
 		return -1
 	}
 	return r.schedule[t]
@@ -123,8 +220,9 @@ func (r *Replayer) ScheduledAt(t uint64) int32 {
 // SignalsAt consumes and returns the signals recorded for thread tid whose
 // preceding Tick had value tick.
 func (r *Replayer) SignalsAt(tid int32, tick uint64) []int32 {
-	if r.sigsLeft.Load() == 0 {
-		// Empty or drained stream: nothing left to deliver, skip the lock.
+	if r.sigsLeft.Load() == 0 || r.divFlag.Load() {
+		// Empty or drained stream (or a diverged tolerant replay, whose
+		// remaining constraints are abandoned): skip the lock.
 		return nil
 	}
 	r.mu.Lock()
@@ -140,7 +238,7 @@ func (r *Replayer) SignalsAt(tid int32, tick uint64) []int32 {
 
 // AsyncsAt consumes and returns the async events floated to tick.
 func (r *Replayer) AsyncsAt(tick uint64) []AsyncEvent {
-	if r.asyncsLeft.Load() == 0 {
+	if r.asyncsLeft.Load() == 0 || r.divFlag.Load() {
 		return nil
 	}
 	r.mu.Lock()
@@ -155,21 +253,38 @@ func (r *Replayer) AsyncsAt(tick uint64) []AsyncEvent {
 
 // NextSyscall consumes the next SYSCALL record. The record's issuing thread
 // and kind must match the replaying call; a mismatch, or an exhausted
-// stream, is a hard desynchronisation.
-func (r *Replayer) NextSyscall(tid int32, kind uint16, tick uint64) (SyscallRecord, error) {
+// stream, is a hard desynchronisation under strict replay. Under a
+// tolerant mode it instead marks the replay diverged and returns
+// replayed=false, telling the caller to execute the call live (as it does
+// for every call after divergence).
+func (r *Replayer) NextSyscall(tid int32, kind uint16, tick uint64) (rec SyscallRecord, replayed bool, err error) {
+	if r.divFlag.Load() {
+		return SyscallRecord{}, false, nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.sysCursor >= len(r.d.Syscalls) {
-		return SyscallRecord{}, &DesyncError{
+		if r.mode != ReplayStrict {
+			r.noteDivergedLocked(tick, fmt.Sprintf(
+				"thread %d issued syscall %d past the end of the recorded SYSCALL stream", tid, kind))
+			return SyscallRecord{}, false, nil
+		}
+		return SyscallRecord{}, false, &DesyncError{
 			Stream: "SYSCALL", Tick: tick, TID: tid, Offset: uint64(r.sysCursor),
 			Reason:   fmt.Sprintf("thread %d issued syscall %d but the stream is exhausted", tid, kind),
 			Expected: "end of execution (no further syscalls)",
 			Observed: fmt.Sprintf("thread %d issued syscall %d", tid, kind),
 		}
 	}
-	rec := r.d.Syscalls[r.sysCursor]
+	rec = r.d.Syscalls[r.sysCursor]
 	if rec.TID != tid || rec.Kind != kind {
-		return SyscallRecord{}, &DesyncError{
+		if r.mode != ReplayStrict {
+			r.noteDivergedLocked(tick, fmt.Sprintf(
+				"thread %d issued syscall %d but the recording has thread %d syscall %d",
+				tid, kind, rec.TID, rec.Kind))
+			return SyscallRecord{}, false, nil
+		}
+		return SyscallRecord{}, false, &DesyncError{
 			Stream: "SYSCALL", Tick: tick, TID: tid, Offset: uint64(r.sysCursor),
 			Reason: fmt.Sprintf("thread %d issued syscall %d but the recording has thread %d syscall %d",
 				tid, kind, rec.TID, rec.Kind),
@@ -178,7 +293,16 @@ func (r *Replayer) NextSyscall(tid int32, kind uint16, tick uint64) (SyscallReco
 		}
 	}
 	r.sysCursor++
-	return rec, nil
+	return rec, true, nil
+}
+
+// noteDivergedLocked is NoteDiverged with r.mu already held.
+func (r *Replayer) noteDivergedLocked(tick uint64, reason string) {
+	if r.div != nil {
+		return
+	}
+	r.div = &Diverged{Tick: tick, Reason: reason}
+	r.divFlag.Store(true)
 }
 
 // SyscallCursor returns how many SYSCALL records the replay has consumed
@@ -265,4 +389,52 @@ func (r *Replayer) SoftDesynced() bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.outputHash != r.d.OutputHash
+}
+
+// Outcome is the coherent end-of-replay summary, folding what used to be
+// separate LeftoverError and SoftDesynced checks into one mode-aware
+// verdict.
+type Outcome struct {
+	// Mode is the replay mode the verdict was computed under.
+	Mode ReplayMode
+	// Err is the hard desynchronisation from constraints left unconsumed
+	// at the end of the run. Strict mode only; tolerant modes fold
+	// leftovers into Diverged.
+	Err error
+	// Diverged is the first point a tolerant replay left the demo's
+	// constraints (an infeasible decision mid-run, leftover constraints at
+	// the end, or — with neither — observable output that drifted from the
+	// recording). Nil when the replay stayed synchronised, and always nil
+	// in strict mode.
+	Diverged *Diverged
+	// SoftDesync reports the raw output-hash comparison. In tolerant modes
+	// a diverged execution is expected to produce different output, so
+	// callers treat SoftDesync as a failure only when Diverged is nil.
+	SoftDesync bool
+}
+
+// Outcome computes the replay's end-of-run verdict. finalTick is the
+// scheduler's tick counter at termination. Call it once, after the run
+// has finished.
+func (r *Replayer) Outcome(finalTick uint64) Outcome {
+	oc := Outcome{Mode: r.mode, SoftDesync: r.SoftDesynced()}
+	if r.mode == ReplayStrict {
+		oc.Err = r.LeftoverError(finalTick)
+		return oc
+	}
+	oc.Diverged = r.Divergence()
+	if oc.Diverged == nil {
+		if lerr := r.LeftoverError(finalTick); lerr != nil {
+			var de *DesyncError
+			reason := lerr.Error()
+			if errors.As(lerr, &de) {
+				reason = de.Reason
+			}
+			oc.Diverged = &Diverged{Tick: finalTick, Reason: reason}
+		} else if oc.SoftDesync {
+			oc.Diverged = &Diverged{Tick: finalTick,
+				Reason: "observable output diverged from the recording"}
+		}
+	}
+	return oc
 }

@@ -326,7 +326,7 @@ func TestMixHashZeroStateNotReseeded(t *testing.T) {
 		t.Fatalf("recorder re-seeded a legitimate zero state: %#x != %#x", r.outputHash, want)
 	}
 
-	rep, err := NewReplayer(&Demo{Strategy: StrategyRandom})
+	rep, err := NewReplayer(&Demo{Strategy: StrategyRandom}, ReplayStrict)
 	if err != nil {
 		t.Fatal(err)
 	}

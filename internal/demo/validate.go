@@ -38,7 +38,7 @@ func (d *Demo) Validate() error {
 			return fmt.Errorf("%w: final tick %d exceeds the queue stream's %d schedulable ticks", ErrCorrupt, d.FinalTick, max)
 		}
 	}
-	if _, err := NewReplayer(d); err != nil {
+	if _, err := NewReplayer(d, ReplayStrict); err != nil {
 		return err
 	}
 	enc := d.Encode()

@@ -17,10 +17,9 @@ import (
 
 // Corpus is the serialised output of one exploration sweep.
 type Corpus struct {
-	Program    string        `json:"program"`
-	MasterSeed uint64        `json:"master_seed"`
-	Trials     int           `json:"trials"`
-	Entries    []CorpusEntry `json:"entries"`
+	Program string        `json:"program"`
+	Trials  int           `json:"trials"`
+	Entries []CorpusEntry `json:"entries"`
 }
 
 // CorpusEntry is one distinct failure with its minimized repro.
@@ -34,6 +33,11 @@ type CorpusEntry struct {
 	Err        string   `json:"err,omitempty"`
 	Duplicates int      `json:"duplicates"`
 	Reproduced bool     `json:"reproduced"`
+	// Ancestor and OpChain record a mutated trial's lineage: the signature
+	// of the root recording the mutation chain started from and the
+	// operator names applied along the way. Empty for fresh trials.
+	Ancestor string   `json:"ancestor,omitempty"`
+	OpChain  []string `json:"op_chain,omitempty"`
 	// OriginalBytes and MinimizedBytes record the shrink; DemoBytes is
 	// the minimized demo's encoding.
 	OriginalBytes  int    `json:"original_bytes"`
@@ -73,7 +77,7 @@ func (e *CorpusEntry) Decode() (*demo.Demo, error) {
 
 // Corpus assembles the sweep's corpus from its deduped failures.
 func (r *Result) Corpus() *Corpus {
-	c := &Corpus{Program: r.Program, MasterSeed: r.MasterSeed, Trials: r.Trials}
+	c := &Corpus{Program: r.Program, Trials: r.Trials}
 	for _, f := range r.Failures {
 		e := CorpusEntry{
 			Strategy:   f.Spec.Strategy.String(),
@@ -85,6 +89,8 @@ func (r *Result) Corpus() *Corpus {
 			Err:        f.Err,
 			Duplicates: f.Duplicates,
 			Reproduced: f.Reproduced,
+			Ancestor:   f.Ancestor,
+			OpChain:    f.OpChain,
 		}
 		if f.Demo != nil {
 			e.OriginalBytes = f.Demo.Size()

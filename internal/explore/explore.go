@@ -1,19 +1,21 @@
 // Package explore is the throughput layer of the find-record-replay
-// workflow: it shards independent controlled trials (strategy × seed ×
-// PCT parameters) across a bounded worker pool, dedupes the failures the
-// trials surface by signature, and minimizes one recorded demo per
-// distinct failure so every bug ships as a small replayable repro.
+// workflow: it shards independent controlled trials across a bounded
+// worker pool, dedupes the failures the trials surface by signature, and
+// minimizes one recorded demo per distinct failure so every bug ships as a
+// small replayable repro.
 //
-// The paper's contribution is that a single controlled execution is
-// recordable and replayable; C11Tester-style bug-finding power comes from
-// running very many of them. Each trial owns its own core.Runtime and
-// env.World, so trials share nothing but the read-only program body and
-// the observability instruments (which are safe for concurrent use). Trial
-// seeds are derived from one master seed with prng.Derive, making the
-// whole sweep a pure function of (program, config): the same master seed
-// and trial budget produce the same per-trial outcomes regardless of
-// worker count or completion order, and any single trial can be re-run in
-// isolation from its spec alone.
+// Trials come from a pluggable TrialSource (source.go): SeedRotation
+// supplies the classic strategy × seed sweep, MutationQueue mutates
+// recorded demos from earlier trials and replays them under the tolerant
+// replay mode, and WeightedSource interleaves sources deterministically.
+// The engine feeds every finished trial's outcome back to the source in
+// strict trial-index order, with spec generation running at most
+// Config.FeedbackLag trials ahead of feedback delivery — so the sequence
+// of Next/Feedback calls the source observes, and hence the whole sweep,
+// is a pure function of (program, config), independent of worker count
+// and completion order. Each trial owns its own core.Runtime and
+// env.World; trials share nothing but the read-only program body and the
+// observability instruments.
 //
 // from plain goroutines; nothing here executes between Wait and Tick.
 //
@@ -35,7 +37,6 @@ import (
 	"repro/internal/demo"
 	"repro/internal/env"
 	"repro/internal/obs"
-	"repro/internal/prng"
 	"repro/internal/sched"
 )
 
@@ -53,19 +54,22 @@ type Program struct {
 type Config struct {
 	// Program is the program under test. Required.
 	Program Program
-	// Strategies are rotated across trials (trial i uses strategy
-	// i mod len). Empty means random only.
-	Strategies []demo.Strategy
-	// Trials is the trial budget (default 128).
+	// Source supplies the trials. Required; most sweeps use a
+	// *SeedRotation, optionally composed with a *MutationQueue via
+	// NewWeightedSource.
+	Source TrialSource
+	// Trials is the trial budget (default 128). The sweep also ends early
+	// if the source declines with no trials in flight.
 	Trials int
 	// Workers bounds the pool (default GOMAXPROCS, capped at 8).
 	Workers int
-	// MasterSeed is expanded into per-trial seeds with prng.Derive.
-	MasterSeed uint64
-	// PCTDepths are rotated across the PCT/delay trials; empty leaves the
-	// strategy defaults. PCTLength is passed through unchanged.
-	PCTDepths []int
-	PCTLength uint64
+	// FeedbackLag bounds how far spec generation runs ahead of in-order
+	// feedback delivery (default 8) — it is therefore also the in-flight
+	// trial cap, so more than FeedbackLag workers sit idle. It is part of
+	// the sweep's deterministic identity: a different lag gives the source
+	// a different Next/Feedback interleaving, but for a fixed lag the
+	// interleaving never depends on worker count or completion order.
+	FeedbackLag int
 	// MaxTicks, TrialTimeout and RescheduleQuantum are forwarded to every
 	// trial's core.Options (zero keeps the core defaults; negative
 	// RescheduleQuantum disables forced rescheduling, which also makes
@@ -80,12 +84,13 @@ type Config struct {
 	// MinimizeBudget bounds the replays spent per failure (default 48).
 	Minimize       bool
 	MinimizeBudget int
-	// RecordDir, when set, streams every trial's recording to
+	// RecordDir, when set, streams every fresh trial's recording to
 	// RecordDir/trial%06d.demo2 as the trial executes (core.Options
 	// .RecordPath), so a trial that wedges or crashes the process still
 	// leaves a recoverable prefix behind. Passing trials' files are
 	// removed; failing trials' files are kept and their paths reported in
-	// Failure.DemoPath. The directory must exist.
+	// Failure.DemoPath. Mutated trials record in memory only (their
+	// recorder is the tolerant replayer's). The directory must exist.
 	RecordDir string
 	// World, if non-nil, supplies a fresh virtual environment per trial;
 	// nil lets core derive one from the trial seeds.
@@ -97,7 +102,7 @@ type Config struct {
 }
 
 // TrialSpec identifies one trial: everything needed to re-run it in
-// isolation. Specs are a pure function of (Config, index).
+// isolation. Index is assigned by the engine in generation order.
 type TrialSpec struct {
 	Index     int
 	Strategy  demo.Strategy
@@ -105,29 +110,11 @@ type TrialSpec struct {
 	Seed2     uint64
 	PCTDepth  int
 	PCTLength uint64
-}
-
-// SpecFor returns trial i's spec. The strategy rotates through
-// cfg.Strategies, the seeds come from prng.Derive(MasterSeed, i), and the
-// PCT parameters apply only to the strategies that read them (Validate
-// rejects them elsewhere).
-func (cfg *Config) SpecFor(i int) TrialSpec {
-	spec := TrialSpec{Index: i, Strategy: demo.StrategyRandom}
-	if n := len(cfg.Strategies); n > 0 {
-		spec.Strategy = cfg.Strategies[i%n]
-	}
-	spec.Seed1, spec.Seed2 = prng.Derive(cfg.MasterSeed, uint64(i))
-	if spec.Strategy == demo.StrategyPCT || spec.Strategy == demo.StrategyDelay {
-		if n := len(cfg.PCTDepths); n > 0 {
-			rotation := i
-			if sn := len(cfg.Strategies); sn > 0 {
-				rotation = i / sn
-			}
-			spec.PCTDepth = cfg.PCTDepths[rotation%n]
-		}
-		spec.PCTLength = cfg.PCTLength
-	}
-	return spec
+	// Mutant, if non-nil, makes this a mutated-demo trial: instead of a
+	// fresh recording run, the engine replays Mutant.Demo divergence-
+	// tolerantly (core.TolerantReplayOptions). Strategy and seeds mirror
+	// the mutant demo's header.
+	Mutant *Mutant
 }
 
 // Outcome is the deterministic summary of one trial. Duration is wall
@@ -141,7 +128,11 @@ type Outcome struct {
 	Ticks     uint64
 	Races     int
 	Signature string
-	Duration  time.Duration
+	// Diverged reports that a mutated trial's candidate schedule became
+	// infeasible mid-replay and the run fell back to the live strategy.
+	// Divergence is not a failure.
+	Diverged bool
+	Duration time.Duration
 }
 
 // Failure is one distinct failure signature with its recorded repro.
@@ -155,11 +146,18 @@ type Failure struct {
 	Err string
 	// Duplicates counts later trials that hit the same signature.
 	Duplicates int
-	// Demo is the representative trial's recording.
+	// Demo is the representative trial's recording. For a mutated trial
+	// this is the tolerant replay's re-recording of what actually executed
+	// — strict-replayable by construction, not the mutated candidate.
 	Demo *demo.Demo
 	// DemoPath is the trial's on-disk streamed recording (set only with
-	// Config.RecordDir).
+	// Config.RecordDir, and only for fresh trials).
 	DemoPath string
+	// Ancestor and OpChain record a mutated trial's lineage: the root
+	// recording's signature and the operator chain that led here. Empty
+	// for fresh trials.
+	Ancestor string
+	OpChain  []string
 	// Minimized is the minimizer's output (== Demo when minimization is
 	// off, out of budget, or the original failed to reproduce).
 	Minimized *demo.Demo
@@ -173,20 +171,24 @@ type Failure struct {
 
 // Result is one sweep's outcome.
 type Result struct {
-	Program    string
-	MasterSeed uint64
-	// Outcomes holds every trial slot, indexed by trial index.
+	Program string
+	// Outcomes holds every generated trial slot, indexed by trial index.
+	// Slots past the wall budget have Ran == false.
 	Outcomes []Outcome
 	// Failures holds one entry per distinct signature, ordered by the
 	// representative trial index.
 	Failures []*Failure
 	// Trials counts trials actually run; Failing counts the failing ones
 	// before deduplication.
-	Trials      int
-	Failing     int
-	DedupeHits  int
-	Elapsed     time.Duration
-	WallExpired bool
+	Trials     int
+	Failing    int
+	DedupeHits int
+	// Mutants counts mutated trials run; DivergedTrials counts those whose
+	// candidate schedule proved infeasible somewhere.
+	Mutants        int
+	DivergedTrials int
+	Elapsed        time.Duration
+	WallExpired    bool
 }
 
 // TrialsPerSec is the sweep's throughput.
@@ -197,19 +199,27 @@ func (r *Result) TrialsPerSec() float64 {
 	return float64(r.Trials) / r.Elapsed.Seconds()
 }
 
-// Run executes the sweep: dispatch trials to the pool until the trial or
-// wall budget is exhausted, then dedupe and (optionally) minimize.
-// Dedupe and minimization run after the pool drains and key on trial
-// index, not completion order, so Result is deterministic for a fixed
-// config (minus Duration/Elapsed).
+// trialDone is one worker's completion report, buffered by the engine
+// until its turn in the in-order feedback stream.
+type trialDone struct {
+	spec    TrialSpec
+	outcome Outcome
+	payload *trialFailure
+	// fbDemo is the trial's recording, passed to the source: a passing
+	// trial's fresh recording, or a mutated trial's re-recording.
+	fbDemo *demo.Demo
+}
+
+// Run executes the sweep: pull specs from the source, dispatch them to
+// the pool, feed outcomes back in trial-index order, then dedupe and
+// (optionally) minimize. Result is deterministic for a fixed config
+// (minus Duration/Elapsed), regardless of worker count.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Program.Body == nil {
 		return nil, errors.New("explore: Config.Program.Body is required")
 	}
-	for _, s := range cfg.Strategies {
-		if s > demo.StrategyDelay {
-			return nil, fmt.Errorf("explore: unknown strategy %v", s)
-		}
+	if cfg.Source == nil {
+		return nil, errors.New("explore: Config.Source is required (use a *SeedRotation)")
 	}
 	if cfg.Trials <= 0 {
 		cfg.Trials = 128
@@ -220,44 +230,124 @@ func Run(cfg Config) (*Result, error) {
 			cfg.Workers = 8
 		}
 	}
+	if cfg.FeedbackLag <= 0 {
+		cfg.FeedbackLag = 8
+	}
 	if cfg.MinimizeBudget <= 0 {
 		cfg.MinimizeBudget = 48
 	}
 
 	start := time.Now()
-	outcomes := make([]Outcome, cfg.Trials)
-	payloads := make([]*trialFailure, cfg.Trials)
 	trialsCtr := cfg.Metrics.Counter("explore.trials")
+	mutantsCtr := cfg.Metrics.Counter("explore.mutants")
+	divergedCtr := cfg.Metrics.Counter("explore.diverged")
 	tickHist := cfg.Metrics.Histogram("explore.trial.ticks")
 
-	indexes := make(chan int)
+	specC := make(chan TrialSpec)
+	doneC := make(chan trialDone)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range indexes {
-				// Distinct workers write distinct slots; no lock needed.
-				outcomes[i], payloads[i] = runTrial(&cfg, cfg.SpecFor(i))
+			for spec := range specC {
+				out, tf, fbDemo := runTrial(&cfg, spec)
 				trialsCtr.Add(1)
-				tickHist.Observe(float64(outcomes[i].Ticks))
+				tickHist.Observe(float64(out.Ticks))
+				if spec.Mutant != nil {
+					mutantsCtr.Add(1)
+				}
+				if out.Diverged {
+					divergedCtr.Add(1)
+				}
+				doneC <- trialDone{spec: spec, outcome: out, payload: tf, fbDemo: fbDemo}
 			}
 		}()
 	}
-	expired := false
-	for i := 0; i < cfg.Trials; i++ {
-		if cfg.WallBudget > 0 && time.Since(start) > cfg.WallBudget {
+
+	// The engine invariants that make the sweep deterministic:
+	//   - specs are generated (Source.Next) only while
+	//     generated-delivered < FeedbackLag, so generation never outruns
+	//     feedback by more than the lag;
+	//   - feedback (Source.Feedback) is delivered strictly in trial-index
+	//     order, out-of-order completions parking in buf;
+	//   - after every single feedback delivery, generation refills the lag
+	//     window before the next delivery.
+	// Together these pin the exact Next/Feedback interleaving the source
+	// observes, whatever the workers do.
+	var (
+		outcomes  []Outcome
+		payloads  []*trialFailure
+		queue     []TrialSpec // generated, not yet dispatched
+		generated int
+		delivered int
+		expired   bool
+	)
+	fill := func() {
+		for !expired && generated < cfg.Trials && generated-delivered < cfg.FeedbackLag {
+			spec, ok := cfg.Source.Next()
+			if !ok {
+				// The source declined; it may recover after more feedback,
+				// so this is only terminal once nothing is in flight.
+				return
+			}
+			spec.Index = generated
+			queue = append(queue, spec)
+			outcomes = append(outcomes, Outcome{Spec: spec})
+			payloads = append(payloads, nil)
+			generated++
+		}
+	}
+	buf := make(map[int]trialDone)
+	for {
+		if cfg.WallBudget > 0 && !expired && time.Since(start) > cfg.WallBudget {
 			expired = true
+			// Undispatched specs never run: their slots keep Ran == false
+			// and their feedback is an empty could-not-run report.
+			for _, sp := range queue {
+				buf[sp.Index] = trialDone{spec: sp, outcome: Outcome{Spec: sp}}
+			}
+			queue = nil
+		}
+		fill()
+		if delivered == generated {
 			break
 		}
-		indexes <- i
+		if len(queue) > 0 {
+			select {
+			case specC <- queue[0]:
+				queue = queue[1:]
+			case d := <-doneC:
+				buf[d.spec.Index] = d
+			}
+		} else {
+			d := <-doneC
+			buf[d.spec.Index] = d
+		}
+		for {
+			d, ok := buf[delivered]
+			if !ok {
+				break
+			}
+			delete(buf, delivered)
+			outcomes[delivered] = d.outcome
+			payloads[delivered] = d.payload
+			cfg.Source.Feedback(Feedback{
+				Spec:      d.spec,
+				Failed:    d.outcome.Failed,
+				Signature: d.outcome.Signature,
+				Demo:      d.fbDemo,
+				Diverged:  d.outcome.Diverged,
+			})
+			delivered++
+			fill()
+		}
 	}
-	close(indexes)
+	close(specC)
 	wg.Wait()
 
 	res := &Result{
 		Program:     cfg.Program.Name,
-		MasterSeed:  cfg.MasterSeed,
 		Outcomes:    outcomes,
 		WallExpired: expired,
 	}
@@ -267,6 +357,12 @@ func Run(cfg Config) (*Result, error) {
 			continue
 		}
 		res.Trials++
+		if outcomes[i].Spec.Mutant != nil {
+			res.Mutants++
+		}
+		if outcomes[i].Diverged {
+			res.DivergedTrials++
+		}
 		p := payloads[i]
 		if p == nil {
 			continue
@@ -284,6 +380,8 @@ func Run(cfg Config) (*Result, error) {
 			Err:       p.errText,
 			Demo:      p.demo,
 			DemoPath:  p.demoPath,
+			Ancestor:  p.ancestor,
+			OpChain:   p.opChain,
 			Minimized: p.demo,
 		}
 		bySig[p.signature] = f
@@ -323,6 +421,8 @@ type trialFailure struct {
 	errText   string
 	demo      *demo.Demo
 	demoPath  string
+	ancestor  string
+	opChain   []string
 }
 
 // trialOptions is the one place trial knobs map onto core.Options, shared
@@ -339,13 +439,20 @@ func trialOptions(cfg *Config, base core.Options) core.Options {
 	return base
 }
 
-func runTrial(cfg *Config, spec TrialSpec) (Outcome, *trialFailure) {
+func runTrial(cfg *Config, spec TrialSpec) (Outcome, *trialFailure, *demo.Demo) {
 	t0 := time.Now()
-	opts := trialOptions(cfg, core.RecordOptions(spec.Strategy, spec.Seed1, spec.Seed2))
-	opts.PCTDepth = spec.PCTDepth
-	opts.PCTLength = spec.PCTLength
-	if cfg.RecordDir != "" {
-		opts.RecordPath = filepath.Join(cfg.RecordDir, fmt.Sprintf("trial%06d.demo2", spec.Index))
+	var opts core.Options
+	if m := spec.Mutant; m != nil {
+		// Mutated trial: replay the candidate tolerantly, re-recording what
+		// actually executes. The report's Demo is the new recording.
+		opts = trialOptions(cfg, core.TolerantReplayOptions(m.Demo))
+	} else {
+		opts = trialOptions(cfg, core.RecordOptions(spec.Strategy, spec.Seed1, spec.Seed2))
+		opts.PCTDepth = spec.PCTDepth
+		opts.PCTLength = spec.PCTLength
+		if cfg.RecordDir != "" {
+			opts.RecordPath = filepath.Join(cfg.RecordDir, fmt.Sprintf("trial%06d.demo2", spec.Index))
+		}
 	}
 	rt, err := core.New(opts)
 	if err != nil {
@@ -353,7 +460,7 @@ func runTrial(cfg *Config, spec TrialSpec) (Outcome, *trialFailure) {
 		// trial with no demo, so the sweep surfaces it instead of dying.
 		out := Outcome{Spec: spec, Ran: true, Failed: true,
 			Signature: "config:" + err.Error(), Duration: time.Since(t0)}
-		return out, &trialFailure{signature: out.Signature, errText: err.Error()}
+		return out, &trialFailure{signature: out.Signature, errText: err.Error()}, nil
 	}
 	rep, _ := rt.Run(cfg.Program.Body(rt))
 	out := Outcome{
@@ -361,6 +468,7 @@ func runTrial(cfg *Config, spec TrialSpec) (Outcome, *trialFailure) {
 		Ran:      true,
 		Ticks:    rep.Ticks,
 		Races:    rep.RaceCount(),
+		Diverged: rep.Diverged != nil,
 		Duration: time.Since(t0),
 	}
 	if !rep.Failed() {
@@ -369,11 +477,15 @@ func runTrial(cfg *Config, spec TrialSpec) (Outcome, *trialFailure) {
 			// insurance; only failing trials keep theirs.
 			os.Remove(rep.DemoPath)
 		}
-		return out, nil
+		return out, nil, rep.Demo
 	}
 	out.Failed = true
 	out.Signature = signatureOf(rep)
 	tf := &trialFailure{signature: out.Signature, demo: rep.Demo, demoPath: rep.DemoPath}
+	if m := spec.Mutant; m != nil {
+		tf.ancestor = m.Ancestor
+		tf.opChain = m.Ops
+	}
 	for _, r := range rep.Races {
 		tf.races = append(tf.races, r.String())
 	}
@@ -381,7 +493,7 @@ func runTrial(cfg *Config, spec TrialSpec) (Outcome, *trialFailure) {
 	if rep.Err != nil {
 		tf.errText = rep.Err.Error()
 	}
-	return out, tf
+	return out, tf, rep.Demo
 }
 
 // signatureOf canonicalises a report into a dedupe key. Race keys drop

@@ -24,36 +24,48 @@ func testProgram(t *testing.T, name string) Program {
 	return Program{Name: p.Name, Body: p.Body}
 }
 
-// detCfg returns a fully seed-deterministic sweep config: the rotated
-// strategies are the seed-determined ones (random, pct, delay — queue
-// depends on physical arrival order) and the timing-dependent reschedule
-// watchdog is disabled.
+// detRotation returns the standard deterministic trial source: the
+// seed-determined strategies (random, pct, delay — queue depends on
+// physical arrival order) rotating over master seed 42. Sources are
+// stateful, so every sweep gets a fresh one.
+func detRotation() *SeedRotation {
+	return &SeedRotation{
+		MasterSeed: 42,
+		Strategies: []demo.Strategy{demo.StrategyRandom, demo.StrategyPCT, demo.StrategyDelay},
+		PCTDepths:  []int{3, 5},
+	}
+}
+
+// detCfg returns a fully seed-deterministic sweep config: detRotation as
+// the source and the timing-dependent reschedule watchdog disabled.
 func detCfg(t *testing.T, workers int) Config {
 	return Config{
 		Program:           testProgram(t, "ms-queue"),
-		Strategies:        []demo.Strategy{demo.StrategyRandom, demo.StrategyPCT, demo.StrategyDelay},
-		PCTDepths:         []int{3, 5},
+		Source:            detRotation(),
 		Trials:            18,
 		Workers:           workers,
-		MasterSeed:        42,
 		RescheduleQuantum: -1,
 	}
 }
 
-func TestSpecForDeterministicAndDistinct(t *testing.T) {
-	cfg := detCfg(t, 1)
+func TestSeedRotationDeterministicAndDistinct(t *testing.T) {
+	rot := detRotation()
 	seen := make(map[[2]uint64]bool)
-	for i := 0; i < cfg.Trials; i++ {
-		a, b := cfg.SpecFor(i), cfg.SpecFor(i)
+	for i := 0; i < 18; i++ {
+		a, b := rot.SpecAt(i), rot.SpecAt(i)
 		if a != b {
-			t.Fatalf("SpecFor(%d) not pure: %+v vs %+v", i, a, b)
+			t.Fatalf("SpecAt(%d) not pure: %+v vs %+v", i, a, b)
+		}
+		next, ok := rot.Next()
+		if !ok || next != a {
+			t.Fatalf("Next() at %d returned %+v/%v, want SpecAt's %+v", i, next, ok, a)
 		}
 		key := [2]uint64{a.Seed1, a.Seed2}
 		if seen[key] {
 			t.Fatalf("trial %d repeats seeds %v", i, key)
 		}
 		seen[key] = true
-		if a.Strategy != cfg.Strategies[i%len(cfg.Strategies)] {
+		if a.Strategy != rot.Strategies[i%len(rot.Strategies)] {
 			t.Fatalf("trial %d strategy rotation broken: %v", i, a.Strategy)
 		}
 		if a.Strategy == demo.StrategyRandom && a.PCTDepth != 0 {
@@ -175,10 +187,22 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Fatal("Run accepted a config with no program")
 	}
+	if _, err := Run(Config{Program: testProgram(t, "ms-queue")}); err == nil {
+		t.Fatal("Run accepted a config with no trial source")
+	}
+	// An unknown strategy is no longer a sweep-level error: the source
+	// hands it out, core.New rejects it, and the trial surfaces it as a
+	// config-signature failure.
 	cfg := detCfg(t, 1)
-	cfg.Strategies = []demo.Strategy{demo.StrategyDelay + 7}
-	if _, err := Run(cfg); err == nil {
-		t.Fatal("Run accepted an unknown strategy")
+	cfg.Source = &SeedRotation{Strategies: []demo.Strategy{demo.StrategyDelay + 7}}
+	cfg.Trials = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failing != 1 || len(res.Failures) != 1 ||
+		!strings.HasPrefix(res.Failures[0].Signature, "config:") {
+		t.Fatalf("unknown strategy not surfaced as a config failure: %+v", res.Failures)
 	}
 }
 

@@ -52,7 +52,7 @@ func minimizeFailure(cfg *Config, f *Failure) {
 	lo, hi := uint64(1), best.FinalTick
 	for lo < hi && replays < cfg.MinimizeBudget {
 		mid := lo + (hi-lo)/2
-		cand := truncateDemo(best, mid)
+		cand := best.TruncateTo(mid)
 		if cand.Validate() == nil && reproduces(cand) {
 			hi = mid
 			best = cand
@@ -99,35 +99,4 @@ func replaySignature(cfg *Config, d *demo.Demo) string {
 	}
 	rep, _ := rt.Run(cfg.Program.Body(rt))
 	return signatureOf(rep)
-}
-
-// truncateDemo returns a copy of d whose constrained prefix ends at tick
-// T: the queue schedule, signal and async streams are cut at T, while
-// syscall records are kept in full (replay consumes them positionally;
-// a mismatch surfaces as a hard desync and the candidate is rejected).
-func truncateDemo(d *demo.Demo, T uint64) *demo.Demo {
-	c := d.Clone()
-	c.FinalTick = T
-	for tid, first := range c.Queue.FirstTick {
-		if first > T {
-			delete(c.Queue.FirstTick, tid)
-		}
-	}
-	if uint64(len(c.Queue.Ticks)) > T {
-		c.Queue.Ticks = c.Queue.Ticks[:T]
-	}
-	c.Signals = keepBefore(c.Signals, T, func(ev demo.SignalEvent) uint64 { return ev.Tick })
-	c.Asyncs = keepBefore(c.Asyncs, T, func(ev demo.AsyncEvent) uint64 { return ev.Tick })
-	return c
-}
-
-// keepBefore filters evs down to those with tick <= T, in place.
-func keepBefore[E any](evs []E, T uint64, tick func(E) uint64) []E {
-	kept := evs[:0]
-	for _, ev := range evs {
-		if tick(ev) <= T {
-			kept = append(kept, ev)
-		}
-	}
-	return kept
 }

@@ -61,8 +61,7 @@ func TestMinimizerProperty(t *testing.T) {
 // *recording* depends on physical arrival order.
 func TestMinimizerQueueStrategy(t *testing.T) {
 	cfg := detCfg(t, 1)
-	cfg.Strategies = []demo.Strategy{demo.StrategyQueue}
-	cfg.PCTDepths = nil
+	cfg.Source = &SeedRotation{MasterSeed: 42, Strategies: []demo.Strategy{demo.StrategyQueue}}
 	cfg.Trials = 4
 	cfg.Minimize = true
 	cfg.MinimizeBudget = 30
@@ -102,7 +101,7 @@ func TestTruncateDemo(t *testing.T) {
 			{TID: 0, Kind: 1, Ret: 5, Bufs: [][]byte{[]byte("hello")}},
 		},
 	}
-	c := truncateDemo(d, 5)
+	c := d.TruncateTo(5)
 	if c.FinalTick != 5 {
 		t.Fatalf("FinalTick = %d", c.FinalTick)
 	}

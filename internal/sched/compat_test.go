@@ -21,7 +21,7 @@ func TestReplayPreDirectedParkingDemo(t *testing.T) {
 	if err := d.Validate(); err != nil {
 		t.Fatalf("pre-change demo no longer validates: %v", err)
 	}
-	rp, err := demo.NewReplayer(d)
+	rp, err := demo.NewReplayer(d, demo.ReplayStrict)
 	if err != nil {
 		t.Fatal(err)
 	}

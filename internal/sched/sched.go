@@ -83,7 +83,10 @@ type Options struct {
 	// Recorder, if non-nil, receives the QUEUE/SIGNAL/ASYNC streams.
 	Recorder *demo.Recorder
 	// Replayer, if non-nil, drives the schedule and event delivery from a
-	// demo. Recorder and Replayer are mutually exclusive.
+	// demo. Recorder and Replayer are mutually exclusive, with one
+	// exception: a ReplayTolerantRecord replayer runs alongside a Recorder,
+	// which re-records the whole execution (replayed prefix and divergent
+	// suffix alike) into a new strict-replayable demo.
 	Replayer *demo.Replayer
 	// MaxTicks aborts the execution after this many critical sections
 	// (0 = unlimited).
@@ -213,8 +216,9 @@ type recentTick struct {
 // New constructs a Scheduler with a registered main thread (TID 0) that is
 // the initial current thread.
 func New(opts Options) (*Scheduler, error) {
-	if opts.Recorder != nil && opts.Replayer != nil {
-		return nil, errors.New("sched: cannot both record and replay")
+	if opts.Recorder != nil && opts.Replayer != nil &&
+		opts.Replayer.Mode() != demo.ReplayTolerantRecord {
+		return nil, errors.New("sched: cannot both record and replay (except under tolerant-record replay)")
 	}
 	if opts.Replayer != nil && opts.Replayer.Demo().Strategy != opts.Kind {
 		return nil, fmt.Errorf("sched: demo was recorded with strategy %v, not %v",
@@ -477,6 +481,11 @@ func (s *Scheduler) applyAsyncLocked(ev demo.AsyncEvent) {
 		s.tr.Emit(obs.Event{Tick: ev.Tick, TID: ev.TID, Kind: obs.KindAsync,
 			Obj: uint64(ev.Kind), Stream: obs.StreamAsync})
 	}
+	if rec := s.opts.Recorder; rec != nil {
+		// Tolerant-record replay: replayed async deliveries re-enter the
+		// new recording, so the divergent demo is complete from tick 1.
+		rec.AddAsync(ev)
+	}
 	switch ev.Kind {
 	case demo.AsyncSignalWakeup, demo.AsyncTimerWakeup:
 		th := s.threads[ev.TID]
@@ -560,35 +569,45 @@ func (s *Scheduler) advanceLocked() {
 		s.finished = true
 		return
 	}
-	// Queue replay: the demo dictates the thread for the next tick.
+	// Queue replay: the demo dictates the thread for the next tick — when
+	// that thread is runnable. The feasibility check below is the relaxed
+	// replay mode's contract: a strict replay hard-desyncs on an
+	// infeasible decision, a tolerant one marks the divergence and falls
+	// through to the live strategy for this and every later tick.
 	if rep := s.opts.Replayer; rep != nil && s.opts.Kind == demo.StrategyQueue {
 		want := rep.ScheduledAt(s.tick + 1)
 		if want >= 0 {
 			th := s.threads[want]
+			feasible := !th.done && th.enabled
+			if feasible {
+				s.current = TID(want)
+				s.noteDecisionLocked()
+				s.unparkCurrentLocked()
+				return
+			}
+			why := fmt.Sprintf("thread %d is blocked (%s)", want, s.blockedWhyLocked(th))
 			if th.done {
+				why = fmt.Sprintf("thread %d has already exited", want)
+			}
+			if rep.Tolerant() {
+				rep.NoteDiverged(s.tick+1, fmt.Sprintf("demanded thread %d not runnable: %s", want, why))
+				if s.tr.Enabled() {
+					s.tr.Emit(obs.Event{Tick: s.tick + 1, TID: want, Kind: obs.KindDesync,
+						Stream: obs.StreamQueue, Offset: s.tick + 1})
+				}
+				// Fall through to the live strategy below.
+			} else {
 				s.failLocked(&demo.DesyncError{
 					Stream: "QUEUE", Tick: s.tick + 1, TID: want, Offset: s.tick + 1,
-					Reason:   fmt.Sprintf("scheduled thread %d has already exited", want),
+					Reason:   fmt.Sprintf("scheduled %s", why),
 					Expected: fmt.Sprintf("thread %d runnable at tick %d", want, s.tick+1),
-					Observed: fmt.Sprintf("thread %d has already exited", want),
+					Observed: why,
 				})
 				return
 			}
-			if !th.enabled {
-				s.failLocked(&demo.DesyncError{
-					Stream: "QUEUE", Tick: s.tick + 1, TID: want, Offset: s.tick + 1,
-					Reason:   fmt.Sprintf("scheduled thread %d is blocked", want),
-					Expected: fmt.Sprintf("thread %d runnable at tick %d", want, s.tick+1),
-					Observed: fmt.Sprintf("thread %d is blocked (%s)", want, s.blockedWhyLocked(th)),
-				})
-				return
-			}
-			s.current = TID(want)
-			s.noteDecisionLocked()
-			s.unparkCurrentLocked()
-			return
 		}
-		// Past the end of the recording: fall through to live strategy.
+		// Past the end of the recording (or diverged): fall through to the
+		// live strategy.
 	}
 	next := s.strategy.next(s)
 	if next == NoTID {
@@ -686,11 +705,17 @@ func (s *Scheduler) blockedNamesLocked() []string {
 
 // ForceReschedule is called by the runtime's background rescheduler when
 // the current thread has spent too long in an invisible region. It is a
-// no-op in replay mode, where reschedules come from the ASYNC stream.
+// no-op in replay mode, where reschedules come from the ASYNC stream —
+// except once a tolerant replay has diverged, at which point the live
+// suffix needs its liveness guarantee back (and, under tolerant-record,
+// the forced reschedule is recorded like any live one).
 func (s *Scheduler) ForceReschedule() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.stopped || s.finished || s.opts.Replayer != nil {
+	if s.stopped || s.finished {
+		return
+	}
+	if rep := s.opts.Replayer; rep != nil && !rep.DivergedNow() {
 		return
 	}
 	if s.current != NoTID {

@@ -359,7 +359,7 @@ func TestRecordReplayScheduleEquivalence(t *testing.T) {
 	order1 := script(s1)
 	d := rec.Finish(s1.TickCount())
 
-	rp, err := demo.NewReplayer(d)
+	rp, err := demo.NewReplayer(d, demo.ReplayStrict)
 	if err != nil {
 		t.Fatal(err)
 	}

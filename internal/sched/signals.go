@@ -20,11 +20,13 @@ import (
 
 // DeliverSignal delivers signal sig to thread tid. In replay mode external
 // signals are suppressed: the SIGNAL and ASYNC streams drive delivery
-// instead. It returns false if tid has already completed.
+// instead — until a tolerant replay diverges, after which the execution is
+// live again and external signals flow normally. It returns false if tid
+// has already completed.
 func (s *Scheduler) DeliverSignal(tid TID, sig int32) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.opts.Replayer != nil {
+	if rep := s.opts.Replayer; rep != nil && !rep.DivergedNow() {
 		return true
 	}
 	if int(tid) >= len(s.threads) {
