@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -217,6 +218,26 @@ func (r LoadResult) Throughput() float64 {
 // across 10 concurrent threads"). It runs in the external world and must
 // be started before (or concurrently with) the runtime's Run.
 //
+// Clients start like ab's simultaneous threads: every client opens its
+// connection, and only once all connections are up does anyone send a
+// request. The barrier between the connect wave and the first sends
+// guarantees the server observes `concurrency` in-flight requests at
+// startup no matter how fast it absorbs connections.
+//
+// After the wave each client pipelines one request ahead: it dials and
+// sends request i+1 before it reads the response to request i, the way a
+// keep-alive HTTP client streams a request backlog. The pipelining is what
+// keeps the load OPEN-LOOP: a strictly request-response client gates every
+// arrival on the previous response, so a server that answers in
+// microseconds is always idle — every worker has finished its handler and
+// parked on the queue condvar — by the time the next connection lands, and
+// the "concurrent load" degenerates to a serial request stream in which no
+// two handlers ever overlap. With one request always in flight per client,
+// arrivals outpace the handlers and connections queue up, so workers pop
+// back-to-back while earlier handlers are still mid-request — the
+// overlapping-handler regime real httpd runs in, and the one where its
+// unsynchronised scoreboard updates are genuinely concurrent.
+//
 //tsanrec:external the ab-model load generator is external-world traffic; only its syscall arrivals are recorded
 func RunLoad(w *env.World, port, total, concurrency int, timeout time.Duration) LoadResult {
 	if concurrency < 1 {
@@ -227,6 +248,8 @@ func RunLoad(w *env.World, port, total, concurrency int, timeout time.Duration) 
 	results := make(chan out, concurrency)
 	per := total / concurrency
 	extra := total % concurrency
+	var wave sync.WaitGroup
+	wave.Add(concurrency)
 	for c := 0; c < concurrency; c++ {
 		n := per
 		if c < extra {
@@ -234,8 +257,35 @@ func RunLoad(w *env.World, port, total, concurrency int, timeout time.Duration) 
 		}
 		go func(id, n int) {
 			var o out
+			// next holds the connection whose request is sent but whose
+			// response has not been read yet (the pipelined request).
+			var next *env.ExtConn
+			var nerr error
+			if n > 0 {
+				next, nerr = w.ExternalConnect(port, timeout)
+			}
+			wave.Done()
+			wave.Wait()
+			if next != nil {
+				if e := next.Send(request(id, 0)); e != nil {
+					next.Close()
+					next, nerr = nil, e
+				}
+			}
 			for i := 0; i < n; i++ {
-				if err := oneRequest(w, port, id, i, timeout); err != nil {
+				conn, err := next, nerr
+				if i+1 < n {
+					// Dial and send the next request before reading this
+					// response: one request stays in flight per client.
+					next, nerr = sendRequest(w, port, id, i+1, timeout)
+				}
+				if err == nil {
+					err = awaitResponse(conn, timeout)
+				}
+				if conn != nil {
+					conn.Close()
+				}
+				if err != nil {
 					o.errs++
 				} else {
 					o.done++
@@ -255,16 +305,24 @@ func RunLoad(w *env.World, port, total, concurrency int, timeout time.Duration) 
 	return res
 }
 
-//tsanrec:external one external client request; its wall-clock deadlines never run under the scheduler
-func oneRequest(w *env.World, port, id, i int, timeout time.Duration) error {
+func request(id, i int) []byte {
+	return []byte("GET /client" + strconv.Itoa(id) + "/item" + strconv.Itoa(i) + "\n")
+}
+
+func sendRequest(w *env.World, port, id, i int, timeout time.Duration) (*env.ExtConn, error) {
 	conn, err := w.ExternalConnect(port, timeout)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer conn.Close()
-	if err := conn.Send([]byte("GET /client" + strconv.Itoa(id) + "/item" + strconv.Itoa(i) + "\n")); err != nil {
-		return err
+	if err := conn.Send(request(id, i)); err != nil {
+		conn.Close()
+		return nil, err
 	}
+	return conn, nil
+}
+
+//tsanrec:external the external client's blocking read of one response
+func awaitResponse(conn *env.ExtConn, timeout time.Duration) error {
 	var resp []byte
 	deadline := time.Now().Add(timeout)
 	for {

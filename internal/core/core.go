@@ -261,6 +261,7 @@ func New(opts Options) (*Runtime, error) {
 		Replayer:   replayer,
 		StopAtTick: stopAt,
 		MaxTicks:   opts.MaxTicks,
+		MaxThreads: opts.MaxThreads,
 		PCTDepth:   opts.PCTDepth,
 		PCTLength:  opts.PCTLength,
 		Trace:      opts.Trace,

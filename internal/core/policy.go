@@ -71,6 +71,10 @@ func (p Policy) ShouldRecord(kind env.Sys, fdk env.FDKind) bool {
 		return p.Net
 	case env.SysPoll, env.SysSelect:
 		return p.Net
+	case env.SysEpollWait:
+		// The delivered batch is network nondeterminism, exactly like a
+		// poll result set. Create/Ctl are structural (never recorded).
+		return p.Net
 	case env.SysRead, env.SysWrite:
 		switch fdk {
 		case env.FDPipeRead, env.FDPipeWrite:

@@ -263,6 +263,61 @@ func (t *Thread) Select(readFDs []int) ([]int, env.Errno) {
 	return ready, r.errno
 }
 
+// EpollCreate allocates an epoll instance (structural, never recorded).
+func (t *Thread) EpollCreate() int {
+	r := t.syscall(env.SysEpollCreate, -1, func() sysResult {
+		return sysResult{ret: int64(t.rt.world.EpollCreate())}
+	})
+	return int(r.ret)
+}
+
+// EpollCtl adds or removes fd from the instance's interest set
+// (structural, never recorded: the interest set is program state, not
+// environment nondeterminism).
+func (t *Thread) EpollCtl(epfd, op, fd int, events int16) env.Errno {
+	r := t.syscall(env.SysEpollCtl, epfd, func() sysResult {
+		return sysResult{errno: t.rt.world.EpollCtl(epfd, op, fd, events)}
+	})
+	return r.errno
+}
+
+// EpollWait delivers up to max ready events from the instance's readiness
+// index. A positive timeout first parks the thread outside the critical
+// section (capped like Poll so liveness checks stay responsive) until the
+// instance has a ready candidate; the delivery itself is non-blocking and
+// costs one visible operation for the whole batch — the scalability
+// contract that lets one thread multiplex thousands of connections. The
+// batch is recorded under the Net policy, like a poll result set.
+func (t *Thread) EpollWait(epfd, max, timeoutMS int) ([]env.EpollEvent, env.Errno) {
+	if timeoutMS > 0 && t.rt.rep == nil {
+		wait := time.Duration(timeoutMS) * time.Millisecond
+		if wait > 2*time.Millisecond {
+			wait = 2 * time.Millisecond
+		}
+		t.rt.world.WaitEpoll(epfd, wait)
+	}
+	r := t.syscall(env.SysEpollWait, epfd, func() sysResult {
+		evs, errno := t.rt.world.EpollWait(epfd, max)
+		out := make([]byte, 6*len(evs))
+		for i, ev := range evs {
+			binary.LittleEndian.PutUint32(out[6*i:], uint32(ev.FD))
+			binary.LittleEndian.PutUint16(out[6*i+4:], uint16(ev.Events))
+		}
+		return sysResult{ret: int64(len(evs)), errno: errno, bufs: [][]byte{out}}
+	})
+	var evs []env.EpollEvent
+	if len(r.bufs) == 1 {
+		b := r.bufs[0]
+		for i := 0; i+6 <= len(b); i += 6 {
+			evs = append(evs, env.EpollEvent{
+				FD:     int(binary.LittleEndian.Uint32(b[i:])),
+				Events: int16(binary.LittleEndian.Uint16(b[i+4:])),
+			})
+		}
+	}
+	return evs, r.errno
+}
+
 // ClockGettime reads the virtual wall clock (nanoseconds). Recorded under
 // any policy with Clock set, making time deterministic during replay.
 func (t *Thread) ClockGettime() int64 {

@@ -32,6 +32,10 @@ func FuzzDecode(f *testing.F) {
 	// the first index. Checked-in copies live in testdata/fuzz/FuzzDecode.
 	f.Add((&Demo{Strategy: StrategyQueue, Seed1: 1, Seed2: 2, FinalTick: 5}).Encode())
 	f.Add((&Demo{Strategy: StrategyQueue, FinalTick: ^uint64(0)}).Encode())
+	// A sparse-high-TID queue demo: many threads scattered across a large
+	// id space with a long-run tick stream, the shape the 10k-thread
+	// scaling scenario records (see scale_test.go).
+	f.Add(sparseQueueDemo(300, 8, 50).Encode())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d, err := Decode(data)
 		if err != nil {

@@ -1,0 +1,78 @@
+package demo
+
+import (
+	"testing"
+)
+
+// sparseQueueDemo builds a QUEUE demo in the shape a 10k-thread run with
+// sparse live TIDs produces: `threads` thread ids scattered across a much
+// larger id space, and a tick stream of `runs` long scheduling runs (the
+// queue strategy schedules one thread many times in succession, which is
+// exactly what the RLE coder exploits).
+func sparseQueueDemo(threads, runs, runLen int) *Demo {
+	d := &Demo{Strategy: StrategyQueue, Seed1: 1, Seed2: 2}
+	d.Queue.FirstTick = make(map[int32]uint64, threads)
+	for i := 0; i < threads; i++ {
+		// Sparse high TIDs: ids up to ~threads*1000, as after a churny
+		// run where most spawned threads have already exited.
+		d.Queue.FirstTick[int32(i*997+3)] = uint64(i)
+	}
+	for r := 0; r < runs; r++ {
+		v := uint64(r * 131)
+		for k := 0; k < runLen; k++ {
+			d.Queue.Ticks = append(d.Queue.Ticks, v)
+		}
+	}
+	d.FinalTick = uint64(len(d.Queue.Ticks))
+	return d
+}
+
+// TestQueueStreamSizeIsThreadsPlusRuns pins the tentpole size property: the
+// encoded QUEUE stream must scale with live threads + scheduling runs, not
+// with the tick count or the peak thread id. A 10k-thread, 100k-tick
+// schedule whose ticks form 200 runs must encode in O(10k + 200) varints —
+// orders of magnitude below the naive 8 bytes/tick.
+func TestQueueStreamSizeIsThreadsPlusRuns(t *testing.T) {
+	const threads, runs, runLen = 10000, 200, 500
+	d := sparseQueueDemo(threads, runs, runLen)
+	enc := d.Encode()
+
+	ticks := runs * runLen
+	naive := 8 * ticks
+	if len(enc) >= naive/10 {
+		t.Fatalf("encoded %d bytes for %d ticks; not sublinear (naive %d)", len(enc), ticks, naive)
+	}
+	// Each FirstTick entry is two varints (≤10 bytes each under the test's
+	// id range), each RLE run another two; everything else is framing.
+	budget := 20*threads + 20*runs + 1024
+	if len(enc) > budget {
+		t.Fatalf("encoded %d bytes, budget %d (threads=%d runs=%d)", len(enc), budget, threads, runs)
+	}
+
+	// The run-count, not the run-length, is what the size tracks: tripling
+	// runLen must grow the encoding by at most framing noise.
+	longer := sparseQueueDemo(threads, runs, 3*runLen)
+	if grew := len(longer.Encode()) - len(enc); grew > runs*2 {
+		t.Fatalf("tripling run length grew encoding by %d bytes; size is tracking ticks, not runs", grew)
+	}
+
+	d2, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(d2.Queue.FirstTick) != threads || len(d2.Queue.Ticks) != ticks {
+		t.Fatalf("round trip lost data: %d threads, %d ticks", len(d2.Queue.FirstTick), len(d2.Queue.Ticks))
+	}
+	for tid, first := range d.Queue.FirstTick {
+		if d2.Queue.FirstTick[tid] != first {
+			t.Fatalf("FirstTick[%d] = %d, want %d", tid, d2.Queue.FirstTick[tid], first)
+		}
+	}
+
+	// The per-section accounting demoinspect -stats prints must attribute
+	// the bulk of this demo to the queue stream.
+	sizes := d.SectionSizes()
+	if sizes["queue"] < len(enc)/2 {
+		t.Fatalf("SectionSizes attributes %d of %d bytes to the queue stream", sizes["queue"], len(enc))
+	}
+}

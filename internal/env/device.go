@@ -78,7 +78,7 @@ func (w *World) Ioctl(fd int, cmd uint32, in []byte) ([]byte, int64, Errno) {
 		// Physical-time nondeterminism: nanoseconds to the next 60 Hz
 		// vsync edge.
 		const frame = int64(time.Second) / 60
-		now := w.ClockNanos()
+		now := w.clockNanosLocked()
 		out := make([]byte, 8)
 		binary.LittleEndian.PutUint64(out, uint64(frame-now%frame))
 		return out, 0, OK

@@ -1,6 +1,9 @@
 package env
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Datagram sockets: the UDP-model transport the Doom-engine games actually
 // use for multiplayer. Datagrams are message-oriented (one Recvfrom returns
@@ -17,6 +20,11 @@ type dgram struct {
 type dgramSock struct {
 	port  int // bound local port (0 = unbound)
 	inbox []dgram
+	// extCond parks an external endpoint's blocking Recv on this socket;
+	// watch lists program-side epoll registrations. Only deliveries to
+	// this socket signal either.
+	extCond *sync.Cond
+	watch   []epollRef
 }
 
 // SocketDgram creates a datagram socket.
@@ -67,7 +75,10 @@ func (w *World) Sendto(fd int, data []byte, toPort int) (int, Errno) {
 		return -1, ECONNREFUSED
 	}
 	dst.inbox = append(dst.inbox, dgram{from: d.dg.port, data: append([]byte(nil), data...)})
-	w.cond.Broadcast()
+	if dst.extCond != nil {
+		dst.extCond.Broadcast()
+	}
+	w.progReadableLocked(dst.watch)
 	return len(data), OK
 }
 
@@ -85,6 +96,7 @@ func (w *World) Recvfrom(fd, max int) ([]byte, int, Errno) {
 	}
 	pkt := d.dg.inbox[0]
 	d.dg.inbox = d.dg.inbox[1:]
+	w.bumpLocked()
 	data := pkt.data
 	if max < len(data) {
 		data = data[:max]
@@ -123,7 +135,10 @@ func (e *ExtDgram) Send(data []byte, toPort int) error {
 		return ECONNREFUSED
 	}
 	dst.inbox = append(dst.inbox, dgram{from: e.sock.port, data: append([]byte(nil), data...)})
-	e.w.cond.Broadcast()
+	if dst.extCond != nil {
+		dst.extCond.Broadcast()
+	}
+	e.w.progReadableLocked(dst.watch)
 	return nil
 }
 
@@ -140,13 +155,17 @@ func (e *ExtDgram) Recv(max int, timeout time.Duration) ([]byte, int, error) {
 		if len(e.sock.inbox) > 0 {
 			pkt := e.sock.inbox[0]
 			e.sock.inbox = e.sock.inbox[1:]
+			e.w.bumpLocked()
 			data := pkt.data
 			if max < len(data) {
 				data = data[:max]
 			}
 			return data, pkt.from, nil
 		}
-		if !e.w.waitUntilLocked(deadline) {
+		if e.sock.extCond == nil {
+			e.sock.extCond = e.w.newWaiterCondLocked()
+		}
+		if !e.w.waitCondUntilLocked(e.sock.extCond, deadline) {
 			return nil, 0, ErrTimeout
 		}
 	}

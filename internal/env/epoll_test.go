@@ -1,0 +1,195 @@
+package env
+
+import (
+	"testing"
+	"time"
+)
+
+// acceptOne drains one pending connection from lfd or fails the test.
+func acceptOne(t *testing.T, w *World, lfd int) int {
+	t.Helper()
+	fd, e := w.Accept(lfd)
+	if e != OK {
+		t.Fatalf("accept: %v", e)
+	}
+	return fd
+}
+
+func TestEpollListenerReadiness(t *testing.T) {
+	w := NewWorld(1)
+	lfd := w.Socket()
+	w.Bind(lfd, 80)
+	w.Listen(lfd, 8)
+
+	epfd := w.EpollCreate()
+	if e := w.EpollCtl(epfd, EpollAdd, lfd, PollIn); e != OK {
+		t.Fatalf("ctl add: %v", e)
+	}
+	if evs, e := w.EpollWait(epfd, 16); e != OK || len(evs) != 0 {
+		t.Fatalf("empty backlog: evs=%v e=%v", evs, e)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		c, err := w.ExternalConnect(80, time.Second)
+		if err == nil {
+			c.Close()
+		}
+		close(done)
+	}()
+	w.WaitEpoll(epfd, time.Second)
+	evs, e := w.EpollWait(epfd, 16)
+	if e != OK || len(evs) != 1 || evs[0].FD != lfd || evs[0].Events != PollIn {
+		t.Fatalf("want [{%d PollIn}], got %v e=%v", lfd, evs, e)
+	}
+
+	// Level-triggered: still ready until the backlog drains.
+	if evs, _ := w.EpollWait(epfd, 16); len(evs) != 1 {
+		t.Fatalf("level-triggered redelivery: %v", evs)
+	}
+	acceptOne(t, w, lfd)
+	if evs, _ := w.EpollWait(epfd, 16); len(evs) != 0 {
+		t.Fatalf("drained backlog still ready: %v", evs)
+	}
+	<-done
+}
+
+func TestEpollStreamDataAndEOF(t *testing.T) {
+	w := NewWorld(1)
+	lfd := w.Socket()
+	w.Bind(lfd, 80)
+	w.Listen(lfd, 8)
+
+	connCh := make(chan *ExtConn, 1)
+	go func() {
+		c, err := w.ExternalConnect(80, time.Second)
+		if err != nil {
+			panic(err)
+		}
+		connCh <- c
+	}()
+	w.WaitReadable([]PollFD{{FD: lfd, Events: PollIn}}, time.Second)
+	cfd := acceptOne(t, w, lfd)
+	ext := <-connCh
+
+	epfd := w.EpollCreate()
+	if e := w.EpollCtl(epfd, EpollAdd, cfd, PollIn); e != OK {
+		t.Fatalf("ctl add stream: %v", e)
+	}
+	if evs, _ := w.EpollWait(epfd, 16); len(evs) != 0 {
+		t.Fatalf("no data yet: %v", evs)
+	}
+
+	ext.Send([]byte("hi"))
+	w.WaitEpoll(epfd, time.Second)
+	if evs, _ := w.EpollWait(epfd, 16); len(evs) != 1 || evs[0].FD != cfd {
+		t.Fatalf("data readiness: %v", evs)
+	}
+	if data, e := w.Recv(cfd, 16); e != OK || string(data) != "hi" {
+		t.Fatalf("recv: %q %v", data, e)
+	}
+	if evs, _ := w.EpollWait(epfd, 16); len(evs) != 0 {
+		t.Fatalf("drained stream still ready: %v", evs)
+	}
+
+	// EOF keeps the fd readable, as with real epoll.
+	ext.Close()
+	w.WaitEpoll(epfd, time.Second)
+	if evs, _ := w.EpollWait(epfd, 16); len(evs) != 1 {
+		t.Fatalf("EOF readiness: %v", evs)
+	}
+}
+
+func TestEpollCtlErrors(t *testing.T) {
+	w := NewWorld(1)
+	epfd := w.EpollCreate()
+	if e := w.EpollCtl(epfd, EpollAdd, 999, PollIn); e != EBADF {
+		t.Fatalf("add bad fd: %v", e)
+	}
+	// Unconnected stream socket is not watchable.
+	sfd := w.Socket()
+	if e := w.EpollCtl(epfd, EpollAdd, sfd, PollIn); e != EINVAL {
+		t.Fatalf("add unconnected socket: %v", e)
+	}
+	lfd := w.Socket()
+	w.Bind(lfd, 80)
+	w.Listen(lfd, 8)
+	if e := w.EpollCtl(epfd, EpollAdd, lfd, PollIn); e != OK {
+		t.Fatalf("add: %v", e)
+	}
+	if e := w.EpollCtl(epfd, EpollAdd, lfd, PollIn); e != EINVAL {
+		t.Fatalf("duplicate add: %v", e)
+	}
+	if e := w.EpollCtl(epfd, EpollDel, lfd, 0); e != OK {
+		t.Fatalf("del: %v", e)
+	}
+	if e := w.EpollCtl(epfd, EpollDel, lfd, 0); e != EBADF {
+		t.Fatalf("del absent: %v", e)
+	}
+	if e := w.EpollCtl(lfd, EpollAdd, epfd, PollIn); e != EINVAL {
+		t.Fatalf("ctl on non-epoll fd: %v", e)
+	}
+}
+
+func TestEpollClosedFDPruned(t *testing.T) {
+	w := NewWorld(1)
+	lfd := w.Socket()
+	w.Bind(lfd, 80)
+	w.Listen(lfd, 8)
+	epfd := w.EpollCreate()
+	w.EpollCtl(epfd, EpollAdd, lfd, PollIn)
+
+	done := make(chan struct{})
+	go func() {
+		if c, err := w.ExternalConnect(80, time.Second); err == nil {
+			c.Close()
+		}
+		close(done)
+	}()
+	w.WaitEpoll(epfd, time.Second)
+	w.Close(lfd)
+	// The queued candidate must be dropped at delivery, not delivered for
+	// a dead fd.
+	if evs, _ := w.EpollWait(epfd, 16); len(evs) != 0 {
+		t.Fatalf("closed fd delivered: %v", evs)
+	}
+	<-done
+}
+
+func TestEpollBatchDelivery(t *testing.T) {
+	// One wakeup delivers a whole batch: N connections queued on the
+	// listener plus data on M streams show up in a single EpollWait.
+	w := NewWorld(1)
+	lfd := w.Socket()
+	w.Bind(lfd, 80)
+	w.Listen(lfd, 64)
+	epfd := w.EpollCreate()
+	w.EpollCtl(epfd, EpollAdd, lfd, PollIn)
+
+	const streams = 8
+	exts := make([]*ExtConn, streams)
+	for i := range exts {
+		ch := make(chan *ExtConn, 1)
+		go func() {
+			c, err := w.ExternalConnect(80, time.Second)
+			if err != nil {
+				panic(err)
+			}
+			ch <- c
+		}()
+		w.WaitEpoll(epfd, time.Second)
+		cfd := acceptOne(t, w, lfd)
+		if e := w.EpollCtl(epfd, EpollAdd, cfd, PollIn); e != OK {
+			t.Fatalf("ctl add stream %d: %v", i, e)
+		}
+		exts[i] = <-ch
+	}
+	for _, c := range exts {
+		c.Send([]byte("x"))
+	}
+	w.WaitEpoll(epfd, time.Second)
+	evs, e := w.EpollWait(epfd, streams+1)
+	if e != OK || len(evs) != streams {
+		t.Fatalf("want %d-event batch, got %d (%v)", streams, len(evs), e)
+	}
+}

@@ -102,6 +102,9 @@ const (
 	SysClose
 	SysOpen
 	SysPipe
+	SysEpollCreate
+	SysEpollCtl
+	SysEpollWait
 )
 
 func (s Sys) String() string {
@@ -113,6 +116,8 @@ func (s Sys) String() string {
 		SysSelect: "select", SysBind: "bind", SysPoll: "poll",
 		SysSocket: "socket", SysListen: "listen", SysConnect: "connect",
 		SysClose: "close", SysOpen: "open", SysPipe: "pipe",
+		SysEpollCreate: "epoll_create", SysEpollCtl: "epoll_ctl",
+		SysEpollWait: "epoll_wait",
 	}
 	if n, ok := names[s]; ok {
 		return n
@@ -134,6 +139,7 @@ const (
 	FDPipeRead
 	FDPipeWrite
 	FDDevice
+	FDEpoll
 )
 
 func (k FDKind) String() string {
@@ -150,6 +156,8 @@ func (k FDKind) String() string {
 		return "pipe-write"
 	case FDDevice:
 		return "device"
+	case FDEpoll:
+		return "epoll"
 	default:
 		return "invalid"
 	}

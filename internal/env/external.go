@@ -2,6 +2,7 @@ package env
 
 import (
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -27,49 +28,86 @@ type ExtConn struct {
 }
 
 // ExternalConnect dials a program-side listener on port, blocking until the
-// listener exists (or timeout elapses).
+// connection is established (or timeout elapses). Dialling a port nobody
+// listens on yet queues a half-open connection — the SYN queue — which the
+// program's Listen adopts wholesale, so early diallers connect in one burst
+// rather than trickling in one wakeup at a time.
 func (w *World) ExternalConnect(port int, timeout time.Duration) (*ExtConn, error) {
 	deadline := time.Now().Add(timeout)
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	var syn *synConn
 	for {
 		if w.closed || w.interrupted {
+			w.removeSynLocked(port, syn)
 			return nil, ErrWorldClosed
 		}
-		if l, ok := w.ports[port]; ok && !l.closed {
+		if syn != nil {
+			if syn.adopted {
+				return &ExtConn{w: w, b: syn.b}, nil
+			}
+		} else if l, ok := w.ports[port]; ok && !l.closed {
+			// Live listener: enqueue directly.
 			b := &buffers{refCount: 2}
 			l.backlog = append(l.backlog, b)
 			if w.tr.Enabled() {
 				w.tr.Emit(obs.Event{TID: -1, Kind: obs.KindExternal, Obj: uint64(port)})
 			}
-			w.cond.Broadcast()
+			// A pending connection makes the listening fd readable: wake
+			// the epoll instances and pollers watching it — not the other
+			// 10k external clients.
+			w.progReadableLocked(l.watch)
 			return &ExtConn{w: w, b: b}, nil
+		} else {
+			// No listener yet: park a half-open connection for Listen to
+			// adopt.
+			syn = &synConn{b: &buffers{refCount: 2}}
+			w.synQ[port] = append(w.synQ[port], syn)
 		}
 		if !w.waitUntilLocked(deadline) {
+			w.removeSynLocked(port, syn)
 			return nil, ErrTimeout
 		}
 	}
 }
 
-// waitUntilLocked waits for a broadcast or the deadline; reports whether
-// the deadline is still in the future. Uses a helper goroutine timer so
-// callers simply loop.
+// removeSynLocked withdraws an unadopted half-open connection from the SYN
+// queue (dialler gave up or the world stopped). No-op for nil or adopted
+// entries.
+func (w *World) removeSynLocked(port int, syn *synConn) {
+	if syn == nil || syn.adopted {
+		return
+	}
+	q := w.synQ[port]
+	for i, s := range q {
+		if s == syn {
+			w.synQ[port] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// waitUntilLocked waits on the global cond (listener appearance, global
+// events) or the deadline; see waitCondUntilLocked.
 func (w *World) waitUntilLocked(deadline time.Time) bool {
-	if time.Now().After(deadline) {
+	return w.waitCondUntilLocked(w.cond, deadline)
+}
+
+// waitCondUntilLocked waits for a broadcast of c or the deadline; reports
+// whether the deadline is still in the future. The deadline is armed as a
+// runtime timer (no goroutine until it fires), and disarmed on wakeup.
+func (w *World) waitCondUntilLocked(c *sync.Cond, deadline time.Time) bool {
+	now := time.Now()
+	if !now.Before(deadline) {
 		return false
 	}
-	done := make(chan struct{})
-	go func() {
-		select {
-		case <-time.After(time.Until(deadline)):
-			w.mu.Lock()
-			w.cond.Broadcast()
-			w.mu.Unlock()
-		case <-done:
-		}
-	}()
-	w.cond.Wait()
-	close(done)
+	tm := time.AfterFunc(deadline.Sub(now), func() {
+		w.mu.Lock()
+		c.Broadcast()
+		w.mu.Unlock()
+	})
+	c.Wait()
+	tm.Stop()
 	return true
 }
 
@@ -84,7 +122,8 @@ func (c *ExtConn) Send(data []byte) error {
 		return EPIPE
 	}
 	c.b.dir[0] = append(c.b.dir[0], data...)
-	c.w.cond.Broadcast()
+	// The program reads dir[0]: wake its watchers, nobody else.
+	c.w.progReadableLocked(c.b.watch[0])
 	return nil
 }
 
@@ -105,13 +144,18 @@ func (c *ExtConn) Recv(max int, timeout time.Duration) ([]byte, error) {
 			}
 			out := append([]byte(nil), c.b.dir[1][:n]...)
 			c.b.dir[1] = c.b.dir[1][n:]
-			c.w.cond.Broadcast()
+			c.w.bumpLocked()
 			return out, nil
 		}
 		if c.b.closed[1] {
 			return nil, nil // EOF
 		}
-		if !c.w.waitUntilLocked(deadline) {
+		// Park on this connection's private gate: the program writing or
+		// closing THIS connection is the only event that can satisfy us.
+		if c.b.extCond == nil {
+			c.b.extCond = c.w.newWaiterCondLocked()
+		}
+		if !c.w.waitCondUntilLocked(c.b.extCond, deadline) {
 			return nil, ErrTimeout
 		}
 	}
@@ -124,7 +168,8 @@ func (c *ExtConn) Close() {
 	if c.b.refCount > 0 {
 		c.b.closed[0] = true
 		c.b.refCount--
-		c.w.cond.Broadcast()
+		// EOF for the program's reader.
+		c.w.progReadableLocked(c.b.watch[0])
 	}
 }
 
@@ -156,9 +201,18 @@ func (l *ExtListener) Accept(timeout time.Duration) (*ExtConn, error) {
 		if el != nil && len(el.pending) > 0 {
 			b := el.pending[0]
 			el.pending = el.pending[1:]
+			l.w.bumpLocked()
 			return &ExtConn{w: l.w, b: b}, nil
 		}
-		if !l.w.waitUntilLocked(deadline) {
+		if el == nil {
+			return nil, ErrWorldClosed
+		}
+		// Park on this listener's private gate; program-side Connects to
+		// this port signal it.
+		if el.cond == nil {
+			el.cond = l.w.newWaiterCondLocked()
+		}
+		if !l.w.waitCondUntilLocked(el.cond, deadline) {
 			return nil, ErrTimeout
 		}
 	}
@@ -187,13 +241,28 @@ func (w *World) Kill(sig int32) {
 	}
 }
 
+// stopLocked wakes every waiter in the world — the global cond, every
+// per-object gate ever handed out, and the channel-based virtual-time
+// sleepers (via stopCh). The only two all-waiters events, Interrupt and
+// Shutdown, funnel through here.
+func (w *World) stopLocked() {
+	if !w.stopClosed {
+		w.stopClosed = true
+		close(w.stopCh)
+	}
+	w.cond.Broadcast()
+	for _, c := range w.waiterConds {
+		c.Broadcast()
+	}
+}
+
 // Shutdown closes the world: external operations unblock with
 // ErrWorldClosed.
 func (w *World) Shutdown() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.closed = true
-	w.cond.Broadcast()
+	w.stopLocked()
 }
 
 // Interrupt unblocks every waiter — program-side threads parked in
@@ -209,7 +278,7 @@ func (w *World) Interrupt() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.interrupted = true
-	w.cond.Broadcast()
+	w.stopLocked()
 }
 
 // ExternalRand exposes external-world entropy for injectors (jitter,

@@ -1,0 +1,181 @@
+package env
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Virtual time. A load scenario that models hours of production traffic
+// cannot wait hours of wall clock: with virtual time enabled, ClockNanos
+// reads a virtual clock that stands still while anything in the world is
+// happening and jumps forward to the next pending timer deadline when the
+// world quiesces. External load generators schedule their arrivals with
+// SleepVirtual, so "a connection every few virtual seconds for three
+// virtual hours" executes as fast as the program can absorb it.
+//
+// Replay determinism costs nothing extra: the program observes time only
+// through the recorded clock_gettime syscall (PolicySparse records Clock),
+// so a replay reads the recorded virtual timestamps back and never needs
+// the advancer or the load generator at all.
+
+// vtBatchNanos coalesces timer fires: when the world quiesces, every timer
+// within this window of the earliest deadline fires as one batch, so dense
+// arrival schedules don't pay one quiescence round per connection.
+const vtBatchNanos = int64(time.Millisecond)
+
+// vtimer is one pending virtual-time wakeup; ch is closed when it fires.
+type vtimer struct {
+	at  int64
+	seq uint64 // FIFO tiebreak for equal deadlines
+	ch  chan struct{}
+}
+
+// vtimerHeap is a min-heap of pending timers ordered by deadline.
+type vtimerHeap []vtimer
+
+func (h vtimerHeap) Len() int { return len(h) }
+func (h vtimerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h vtimerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *vtimerHeap) Push(x interface{}) { *h = append(*h, x.(vtimer)) }
+func (h *vtimerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// EnableVirtualTime switches the world's clock to virtual time and starts
+// the background advancer, which checks for quiescence every checkEvery
+// (0 = 100µs default). Idempotent; the advancer exits at Interrupt or
+// Shutdown.
+func (w *World) EnableVirtualTime(checkEvery time.Duration) {
+	w.mu.Lock()
+	if w.vtOn {
+		w.mu.Unlock()
+		return
+	}
+	w.vtOn = true
+	w.mu.Unlock()
+	if checkEvery <= 0 {
+		checkEvery = 100 * time.Microsecond
+	}
+	go w.advanceVirtual(checkEvery)
+}
+
+// VirtualNow returns the current virtual clock (0 when virtual time is
+// off).
+func (w *World) VirtualNow() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.vnow
+}
+
+// SleepVirtual blocks the calling (external-world) goroutine until the
+// virtual clock reaches now+d. With virtual time off it degrades to a real
+// sleep. Returns ErrWorldClosed if the world stops first.
+func (w *World) SleepVirtual(d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	w.mu.Lock()
+	if !w.vtOn {
+		w.mu.Unlock()
+		time.Sleep(d)
+		return nil
+	}
+	if w.closed || w.interrupted {
+		w.mu.Unlock()
+		return ErrWorldClosed
+	}
+	ch := make(chan struct{})
+	w.vtSeq++
+	heap.Push(&w.vtimers, vtimer{at: w.vnow + int64(d), seq: w.vtSeq, ch: ch})
+	stop := w.stopCh
+	w.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-stop:
+		return ErrWorldClosed
+	}
+}
+
+// PendingVirtualTimers reports how many virtual-time sleepers are parked
+// (diagnostics and test synchronisation).
+func (w *World) PendingVirtualTimers() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.vtimers)
+}
+
+// AdvanceVirtual manually advances the virtual clock by d, firing every
+// timer that comes due (test helper; the advancer goroutine does this
+// automatically at quiescence).
+func (w *World) AdvanceVirtual(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.vnow += int64(d)
+	w.fireDueLocked(w.vnow)
+}
+
+// fireDueLocked pops and fires every timer with deadline <= upto.
+func (w *World) fireDueLocked(upto int64) {
+	fired := false
+	for len(w.vtimers) > 0 && w.vtimers[0].at <= upto {
+		tm := heap.Pop(&w.vtimers).(vtimer)
+		if tm.at > w.vnow {
+			w.vnow = tm.at
+		}
+		close(tm.ch)
+		fired = true
+	}
+	if fired {
+		w.bumpLocked()
+	}
+}
+
+// advanceVirtual is the quiescence advancer: when a full check interval
+// passes with no world-state mutation (actGen unchanged) and timers are
+// pending, the virtual clock jumps to the earliest deadline and fires the
+// batch within vtBatchNanos of it. Program threads running pure compute
+// don't hold the clock back (they don't mutate the world), which is the
+// same arrival-vs-compute nondeterminism a real environment has — and the
+// recording captures whichever interleaving happened.
+func (w *World) advanceVirtual(every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	var lastGen uint64
+	first := true
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-tick.C:
+		}
+		w.mu.Lock()
+		if w.closed || w.interrupted {
+			w.mu.Unlock()
+			return
+		}
+		if first || w.actGen != lastGen || len(w.vtimers) == 0 {
+			first = false
+			lastGen = w.actGen
+			w.mu.Unlock()
+			continue
+		}
+		base := w.vtimers[0].at
+		if base < w.vnow {
+			base = w.vnow
+		}
+		w.vnow = base
+		w.fireDueLocked(base + vtBatchNanos)
+		lastGen = w.actGen
+		w.mu.Unlock()
+	}
+}

@@ -1,0 +1,111 @@
+package env
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualTimeAdvancesAtQuiescence(t *testing.T) {
+	w := NewWorld(1)
+	defer w.Shutdown()
+	w.EnableVirtualTime(50 * time.Microsecond)
+
+	start := time.Now()
+	if err := w.SleepVirtual(3 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("virtual 3h took %v of wall clock", wall)
+	}
+	if got := w.VirtualNow(); got < int64(3*time.Hour) {
+		t.Fatalf("virtual clock %d < 3h", got)
+	}
+	if got := w.ClockNanos(); got < int64(3*time.Hour) {
+		t.Fatalf("ClockNanos %d not virtual", got)
+	}
+}
+
+func TestVirtualTimerOrderingAndBatch(t *testing.T) {
+	w := NewWorld(1)
+	defer w.Shutdown()
+	w.EnableVirtualTime(50 * time.Microsecond)
+
+	delays := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	wokeAt := make([]int64, len(delays))
+	var wg sync.WaitGroup
+	for i, d := range delays {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			if err := w.SleepVirtual(d); err != nil {
+				t.Error(err)
+				return
+			}
+			wokeAt[i] = w.VirtualNow()
+		}(i, d)
+	}
+	wg.Wait()
+	// Every sleeper wakes at or after its own virtual deadline: the clock
+	// never jumps past a pending timer without firing it.
+	for i, d := range delays {
+		if wokeAt[i] < int64(d) {
+			t.Fatalf("sleeper %d woke at vnow=%d before its %v deadline", i, wokeAt[i], d)
+		}
+	}
+}
+
+func TestVirtualTimeManualAdvance(t *testing.T) {
+	w := NewWorld(1)
+	// No advancer: drive the clock by hand.
+	w.mu.Lock()
+	w.vtOn = true
+	w.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() { done <- w.SleepVirtual(time.Minute) }()
+	for w.PendingVirtualTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	w.AdvanceVirtual(30 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("timer fired 30s early")
+	case <-time.After(5 * time.Millisecond):
+	}
+	w.AdvanceVirtual(30 * time.Second)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepVirtualUnblocksAtShutdown(t *testing.T) {
+	w := NewWorld(1)
+	w.mu.Lock()
+	w.vtOn = true
+	w.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() { done <- w.SleepVirtual(time.Hour) }()
+	for w.PendingVirtualTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	w.Shutdown()
+	if err := <-done; err != ErrWorldClosed {
+		t.Fatalf("want ErrWorldClosed, got %v", err)
+	}
+}
+
+func TestVirtualTimeOffIsRealSleep(t *testing.T) {
+	w := NewWorld(1)
+	start := time.Now()
+	if err := w.SleepVirtual(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("vt-off sleep returned early")
+	}
+	if w.VirtualNow() != 0 {
+		t.Fatal("virtual clock moved while off")
+	}
+}

@@ -13,8 +13,16 @@ import (
 // inside scheduler critical sections; External* methods are called from
 // plain goroutines; both lock w.mu.
 type World struct {
-	mu   sync.Mutex
-	cond *sync.Cond // broadcast whenever buffered data/connections change
+	mu sync.Mutex
+	// cond parks the waiters with no single object to wait on: program-side
+	// WaitReadable pollers and ExternalConnect callers waiting for a
+	// listener to appear. It is broadcast only on program-visible readiness
+	// transitions and global events — NOT on every byte moved. Everything
+	// with an identifiable object (an external Recv on one connection, an
+	// external Accept on one listener, an epoll waiter) parks on that
+	// object's own gate, so a wakeup costs O(parties affected), not
+	// O(connections).
+	cond *sync.Cond
 
 	start   time.Time
 	nextFD  int
@@ -24,6 +32,35 @@ type World struct {
 	dgPorts map[int]*dgramSock // datagram sockets by bound port
 	files   map[string][]byte
 	display *display
+
+	// waiterConds registers every per-object wait gate ever created, so the
+	// two all-waiters events — Interrupt and Shutdown — can reach them. The
+	// list grows with live objects that ever blocked a waiter, not with
+	// traffic.
+	waiterConds []*sync.Cond
+
+	// actGen counts world-state mutations. The virtual-time advancer
+	// (vtime.go) reads it to detect quiescence: when no mutation happens
+	// across a check interval and timers are pending, virtual time jumps.
+	actGen uint64
+
+	// Virtual time (vtime.go). When vtOn, ClockNanos returns vnow — virtual
+	// nanoseconds since World creation — which advances only when timers
+	// fire, so hours of modelled traffic replay in wall-clock seconds.
+	vtOn    bool
+	vnow    int64
+	vtSeq   uint64
+	vtimers vtimerHeap
+
+	// stopCh is closed (once) by Interrupt/Shutdown so channel-based
+	// waiters (virtual-time sleepers) unblock without polling a flag.
+	stopCh     chan struct{}
+	stopClosed bool
+
+	// synQ holds half-open connections per port: ExternalConnect calls that
+	// arrived before the program's Listen. Listen adopts the whole queue
+	// into its backlog atomically (see Listen).
+	synQ map[int][]*synConn
 
 	// extRand supplies external-world nondeterminism (session tokens,
 	// jitter). It is intentionally NOT the scheduler's recorded PRNG: the
@@ -58,7 +95,12 @@ type fdesc struct {
 	file   string
 	offset int
 	dev    *display
+	ep     *epoll // batched readiness poller state (FDEpoll)
 	closed bool
+	// placeholder marks a replay-allocated fd that consumes a table slot
+	// but connects to nothing; watch registrations accept it (readiness
+	// is replayed, never observed live).
+	placeholder bool
 }
 
 // buffers is a bidirectional stream. By convention the program side reads
@@ -69,17 +111,36 @@ type buffers struct {
 	dir      [2][]byte
 	closed   [2]bool
 	refCount int
+	// extCond parks the external endpoint's blocking Recv; lazily created,
+	// signalled only by writes/closes on this connection.
+	extCond *sync.Cond
+	// watch[i] lists the epoll registrations interested in dir[i] becoming
+	// readable (the program registers its read direction). Updated by
+	// EpollCtl; fired by the write/close sites, making registration O(1)
+	// and a readiness transition O(watching pollers).
+	watch [2][]epollRef
 }
 
 type listener struct {
 	port    int
 	backlog []*buffers // pending connections (program accepts side 1)
 	closed  bool
+	watch   []epollRef // epoll registrations on the listening fd
+}
+
+// synConn is one half-open external connection queued before the listener
+// existed; adopted flips when Listen moves it into the backlog.
+type synConn struct {
+	b       *buffers
+	adopted bool
 }
 
 type extListener struct {
 	port    int
 	pending []*buffers // program connected, external side accepts side 0
+	// cond parks external Accept callers; signalled by program Connects to
+	// this port only.
+	cond *sync.Cond
 }
 
 // NewWorld creates a virtual environment. seed perturbs external-world
@@ -96,6 +157,8 @@ func NewWorld(seed uint64) *World {
 		dgPorts: make(map[int]*dgramSock),
 		files:   make(map[string][]byte),
 		extRand: seed ^ uint64(time.Now().UnixNano()),
+		stopCh:  make(chan struct{}),
+		synQ:    make(map[int][]*synConn),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	w.display = newDisplay(w)
@@ -111,9 +174,47 @@ func (w *World) nextRandLocked() uint64 {
 	return bits.RotateLeft64(z^(z>>31), 17)
 }
 
+// bumpLocked records a world-state mutation for the virtual-time
+// quiescence detector. Pure reads and would-block checks do not bump, so a
+// polling thread spinning on EAGAIN never holds virtual time back.
+func (w *World) bumpLocked() { w.actGen++ }
+
+// newWaiterCondLocked allocates a directed wait gate tied to w.mu and
+// registers it so Interrupt/Shutdown can reach it.
+func (w *World) newWaiterCondLocked() *sync.Cond {
+	c := sync.NewCond(&w.mu)
+	w.waiterConds = append(w.waiterConds, c)
+	return c
+}
+
+// progReadableLocked announces a program-visible readiness transition on
+// the object carrying the given watch list: every registered epoll instance
+// enqueues one batched event (O(1) per watching poller, dedup'd while
+// queued), and the legacy WaitReadable pollers parked on w.cond get their
+// broadcast. External per-connection waiters are NOT woken — they have
+// their own gates.
+func (w *World) progReadableLocked(refs []epollRef) {
+	w.bumpLocked()
+	for _, r := range refs {
+		r.ep.enqueueLocked(r.fd)
+	}
+	w.cond.Broadcast()
+}
+
 // ClockNanos returns the wall-clock reading (nanoseconds since World
-// creation); the virtual clock_gettime.
+// creation); the virtual clock_gettime. Under virtual time (vtime.go) it
+// returns the virtual clock instead, which advances only when the world
+// quiesces into a pending timer.
 func (w *World) ClockNanos() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.clockNanosLocked()
+}
+
+func (w *World) clockNanosLocked() int64 {
+	if w.vtOn {
+		return w.vnow
+	}
 	return int64(time.Since(w.start))
 }
 
@@ -187,6 +288,23 @@ func (w *World) Listen(fd, backlog int) Errno {
 	}
 	d.kind = FDListener
 	w.ports[d.lstn.port] = d.lstn
+	// Adopt the SYN queue: every half-open connection dialled before the
+	// listener existed lands in the backlog in one step, the way a kernel
+	// accept queue fills from queued SYNs. An ab-style load generator whose
+	// clients all dial during server boot is therefore guaranteed to present
+	// its full concurrency to the first accept loop, no matter how quickly
+	// the server absorbs connections one by one.
+	for _, s := range w.synQ[d.lstn.port] {
+		s.adopted = true
+		d.lstn.backlog = append(d.lstn.backlog, s.b)
+		if w.tr.Enabled() {
+			w.tr.Emit(obs.Event{TID: -1, Kind: obs.KindExternal, Obj: uint64(d.lstn.port)})
+		}
+	}
+	delete(w.synQ, d.lstn.port)
+	// ExternalConnect callers waiting for this port to appear park on the
+	// global cond; listener creation is a once-per-server event.
+	w.bumpLocked()
 	w.cond.Broadcast()
 	return OK
 }
@@ -206,6 +324,7 @@ func (w *World) Accept(fd int) (int, Errno) {
 	}
 	b := l.backlog[0]
 	l.backlog = l.backlog[1:]
+	w.bumpLocked()
 	nfd := w.allocLocked(&fdesc{kind: FDSocket, peer: b, inDir: 0})
 	return nfd, OK
 }
@@ -232,7 +351,10 @@ func (w *World) Connect(fd, port int) Errno {
 	// Program is side 1 on outbound connections: it reads dir[0], writes
 	// dir[1].
 	el.pending = append(el.pending, b)
-	w.cond.Broadcast()
+	w.bumpLocked()
+	if el.cond != nil {
+		el.cond.Broadcast()
+	}
 	return OK
 }
 
@@ -262,7 +384,9 @@ func (w *World) Recv(fd, max int) ([]byte, Errno) {
 	}
 	out := append([]byte(nil), b.dir[in][:n]...)
 	b.dir[in] = b.dir[in][n:]
-	w.cond.Broadcast()
+	// Draining a buffer makes nothing newly readable: no wakeups (the
+	// environment has no write-side backpressure).
+	w.bumpLocked()
 	return out, OK
 }
 
@@ -283,7 +407,13 @@ func (w *World) Send(fd int, data []byte) (int, Errno) {
 		return -1, EPIPE
 	}
 	b.dir[out] = append(b.dir[out], data...)
-	w.cond.Broadcast()
+	// The reader of dir[out] is the external endpoint (sockets) or another
+	// program fd (pipes): wake the former's private gate, and any epoll
+	// instance / poller watching the latter.
+	if b.extCond != nil {
+		b.extCond.Broadcast()
+	}
+	w.progReadableLocked(b.watch[out])
 	return len(data), OK
 }
 
@@ -312,14 +442,25 @@ func (w *World) Close(fd int) Errno {
 		out := 1 - d.inDir
 		d.peer.closed[out] = true
 		d.peer.refCount--
-		w.cond.Broadcast()
+		// EOF is a readiness event for the other end's reader.
+		if d.peer.extCond != nil {
+			d.peer.extCond.Broadcast()
+		}
+		w.progReadableLocked(d.peer.watch[out])
 	}
 	if d.kind == FDListener && d.lstn != nil {
 		d.lstn.closed = true
 		delete(w.ports, d.lstn.port)
+		w.bumpLocked()
 	}
 	if d.dg != nil && d.dg.port != 0 {
 		delete(w.dgPorts, d.dg.port)
+		w.bumpLocked()
+	}
+	if d.ep != nil {
+		// Waiters blocked on a just-closed epoll fd must notice EBADF.
+		d.ep.cond.Broadcast()
+		w.bumpLocked()
 	}
 	return OK
 }
@@ -467,6 +608,7 @@ func (w *World) Read(fd, max int) ([]byte, Errno) {
 		}
 		out := append([]byte(nil), content[d.offset:d.offset+n]...)
 		d.offset += n
+		w.bumpLocked()
 		w.mu.Unlock()
 		return out, OK
 	}
@@ -484,6 +626,7 @@ func (w *World) Write(fd int, data []byte) (int, Errno) {
 	}
 	if d.kind == FDFile {
 		w.files[d.file] = append(w.files[d.file], data...)
+		w.bumpLocked()
 		w.mu.Unlock()
 		return len(data), OK
 	}
@@ -497,7 +640,7 @@ func (w *World) Write(fd int, data []byte) (int, Errno) {
 func (w *World) AllocPlaceholder(kind FDKind) int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.allocLocked(&fdesc{kind: kind})
+	return w.allocLocked(&fdesc{kind: kind, placeholder: true})
 }
 
 // WaitReadable blocks until one of fds is readable (or errored) or the

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sync"
 )
 
 // Thread lifecycle operations (§3.2, "Thread management"). All three are
@@ -17,12 +16,19 @@ func (s *Scheduler) ThreadNew(parent TID, name string) TID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.assertCurrentLocked(parent, "ThreadNew")
+	if max := s.opts.MaxThreads; max > 0 && len(s.threads) >= max {
+		s.failLocked(fmt.Errorf("sched: thread limit exceeded: %d threads already created (MaxThreads=%d)",
+			len(s.threads), max))
+		s.abortLocked()
+	}
 	id := TID(len(s.threads))
 	if name == "" {
 		name = fmt.Sprintf("thread-%d", id)
 	}
+	// The park gate is NOT allocated here: it appears on the thread's first
+	// arrival at Wait, so creating a large thread table costs one struct per
+	// thread and nothing per gate until a thread actually runs.
 	th := &thread{id: id, name: name, enabled: true, waitJoin: NoTID}
-	th.park = sync.NewCond(&s.mu)
 	s.threads = append(s.threads, th)
 	s.live++
 	s.strategy.onNew(s, th)

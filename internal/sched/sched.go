@@ -97,6 +97,12 @@ type Options struct {
 	// of the recorded streams and hard-desynchronise on the first
 	// unsatisfiable constraint.
 	StopAtTick uint64
+	// MaxThreads, if nonzero, bounds how many threads the program under test
+	// may create; exceeding it stops the execution. It is a pure bound — no
+	// per-thread state is allocated until a thread exists and first parks, so
+	// a 10k bound on an 8-thread run costs nothing (pinned by the alloc test
+	// in sched_scale_test.go).
+	MaxThreads int
 	// PCTDepth is the bug depth d for the PCT strategy (priority change
 	// points = d-1). Ignored by other strategies; defaults to 3.
 	PCTDepth int
@@ -131,7 +137,10 @@ type thread struct {
 	// park is the thread's private gate: the thread blocks on it inside
 	// Wait, and exactly the scheduling decision that activates the thread
 	// signals it — a Tick is O(1) wakeups regardless of how many threads
-	// are parked. Only the owning thread ever waits on it.
+	// are parked. Only the owning thread ever waits on it. Allocated lazily
+	// on the thread's first arrival at Wait (not at creation), so gate cost
+	// tracks threads that actually run, not the peak thread count; nil means
+	// the thread has never parked and cannot be blocked in Wait.
 	park *sync.Cond
 
 	waitMutex uint64 // nonzero if disabled waiting for this mutex
@@ -268,7 +277,6 @@ func New(opts Options) (*Scheduler, error) {
 		return nil, fmt.Errorf("sched: unknown strategy %v", opts.Kind)
 	}
 	main := &thread{id: 0, name: "main", enabled: true, waitJoin: NoTID}
-	main.park = sync.NewCond(&s.mu)
 	s.threads = append(s.threads, main)
 	s.live = 1
 	s.current = 0
@@ -319,9 +327,12 @@ func (s *Scheduler) failLocked(err error) {
 			Stream: obs.StreamFromName(de.Stream), Offset: de.Offset})
 	}
 	// Stop is the one event that must reach every gate: wake each thread's
-	// private park and any external gap waiters explicitly.
+	// private park and any external gap waiters explicitly. A nil gate
+	// belongs to a thread that has never parked, so there is nothing to wake.
 	for _, th := range s.threads {
-		th.park.Signal()
+		if th.park != nil {
+			th.park.Signal()
+		}
 	}
 	s.gapCond.Broadcast()
 	if s.opts.OnStop != nil {
@@ -343,6 +354,12 @@ func (s *Scheduler) Wait(tid TID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	th := s.threads[tid]
+	if th.park == nil {
+		// First arrival: allocate the gate now, before inWait is set, so
+		// every path that may signal it (unparkCurrentLocked via the
+		// advance below, failLocked) finds it present.
+		th.park = sync.NewCond(&s.mu)
+	}
 	th.inWait = true
 	s.strategy.onWait(s, th)
 	if s.current == NoTID {

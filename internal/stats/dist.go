@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Arrival and popularity distributions for load models, sampled by inverse
+// transform from caller-supplied uniform randomness. Taking the random
+// word as an argument (rather than owning a generator) keeps the samplers
+// pure: the load scenario draws from the external world's entropy — which
+// is never recorded — while tests pass fixed words and get fixed answers.
+
+// U01 maps a uniform random word onto [0, 1).
+func U01(u uint64) float64 {
+	return float64(u>>11) / float64(1<<53)
+}
+
+// Exponential is the inter-arrival distribution of a Poisson arrival
+// process with the given mean (e.g. mean seconds between connections).
+type Exponential struct {
+	Mean float64
+}
+
+// Sample draws by inverse CDF: -mean * ln(1-U).
+func (e Exponential) Sample(u uint64) float64 {
+	return -e.Mean * math.Log(1-U01(u))
+}
+
+// Pareto is the heavy-tailed distribution of flow sizes and think times
+// observed in production traffic: scale Xm (the minimum value) and shape
+// Alpha (smaller = heavier tail; Alpha <= 1 has infinite mean).
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// Sample draws by inverse CDF: xm / (1-U)^(1/alpha).
+func (p Pareto) Sample(u uint64) float64 {
+	return p.Xm / math.Pow(1-U01(u), 1/p.Alpha)
+}
+
+// Zipf is the popularity distribution over n ranked items with exponent s
+// (s=1 is the classic web-request popularity curve): P(k) ∝ 1/k^s for
+// rank k in [1, n]. The CDF is precomputed once, so sampling is a binary
+// search — O(log n) per draw with no rejection loop.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds the sampler for n items with exponent s.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += 1 / math.Pow(float64(k), s)
+		cdf[k-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranked items.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a 0-based rank (0 is the most popular item).
+func (z *Zipf) Sample(u uint64) int {
+	x := U01(u)
+	i := sort.SearchFloat64s(z.cdf, x)
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i
+}

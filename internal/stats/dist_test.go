@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// lcg is a tiny deterministic generator for distribution tests.
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l)
+}
+
+func TestExponentialMean(t *testing.T) {
+	e := Exponential{Mean: 2.5}
+	var l lcg = 42
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := e.Sample(l.next())
+		if x < 0 {
+			t.Fatalf("negative inter-arrival %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-2.5) > 0.05 {
+		t.Fatalf("empirical mean %v, want ~2.5", mean)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	p := Pareto{Xm: 1.5, Alpha: 2.5}
+	var l lcg = 7
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		x := p.Sample(l.next())
+		if x < p.Xm {
+			t.Fatalf("sample %v below scale %v", x, p.Xm)
+		}
+		sum += x
+	}
+	// E[X] = alpha*xm/(alpha-1) = 2.5 for these parameters.
+	if mean := sum / n; math.Abs(mean-2.5) > 0.1 {
+		t.Fatalf("empirical mean %v, want ~2.5", mean)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	var l lcg = 99
+	counts := make([]int, z.N())
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := z.Sample(l.next())
+		if k < 0 || k >= z.N() {
+			t.Fatalf("rank %d out of range", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[9] || counts[9] <= counts[99] {
+		t.Fatalf("not rank-skewed: c0=%d c9=%d c99=%d", counts[0], counts[9], counts[99])
+	}
+	// Rank 1 vs rank 2 should be roughly 2:1 under s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("rank-1:rank-2 ratio %v, want ~2", ratio)
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	z := NewZipf(0, 1.0)
+	if z.N() != 1 || z.Sample(^uint64(0)) != 0 {
+		t.Fatal("degenerate zipf must clamp to one item")
+	}
+}

@@ -20,11 +20,11 @@ func newBenchDetector(n int) *Detector {
 
 // BenchmarkDataAccess measures the non-atomic read+write shadow check for
 // a single thread in an n-thread process. With the epoch read-shadow this
-// is O(1) — the numbers must stay flat as the thread count grows (the
-// pre-rewrite full read clock made OnWrite scan O(n) entries because the
-// accessor has the highest TID).
+// is O(1) — the numbers must stay flat as the thread count grows, all the
+// way to the 10240-thread scaling target (the pre-rewrite full read clock
+// made OnWrite scan O(n) entries because the accessor has the highest TID).
 func BenchmarkDataAccess(b *testing.B) {
-	for _, n := range []int{2, 4, 8, 32, 128} {
+	for _, n := range []int{2, 4, 8, 32, 128, 1024, 10240} {
 		b.Run(fmt.Sprintf("threads=%d", n), func(b *testing.B) {
 			d := newBenchDetector(n)
 			tid := TID(n - 1)

@@ -117,17 +117,31 @@ func (c *Clock) grow(n int) {
 	c.shared = false
 }
 
+// trimmed returns es without trailing zero epochs. Absent entries read as
+// epoch 0, so the trimmed slice is semantically identical; copying only the
+// trimmed prefix is what keeps Copy/Assign/Join O(highest live TID) instead
+// of O(peak width) when a wide clock has gone quiet at the top.
+func trimmed(es []Epoch) []Epoch {
+	n := len(es)
+	for n > 0 && es[n-1] == 0 {
+		n--
+	}
+	return es[:n]
+}
+
 // Join merges other into c, taking the pointwise maximum. Join implements
-// the acquire side of synchronisation.
+// the acquire side of synchronisation. Trailing zeros in other never force
+// c to grow.
 func (c *Clock) Join(other *Clock) {
 	if other == nil {
 		return
 	}
+	src := trimmed(other.epochs)
 	if c.shared {
 		c.unshare()
 	}
-	c.grow(len(other.epochs))
-	for i, e := range other.epochs {
+	c.grow(len(src))
+	for i, e := range src {
 		if e > c.epochs[i] {
 			c.epochs[i] = e
 		}
@@ -135,7 +149,9 @@ func (c *Clock) Join(other *Clock) {
 	c.gen++
 }
 
-// Assign overwrites c with a copy of other.
+// Assign overwrites c with a copy of other. Only the prefix up to other's
+// highest nonzero epoch is copied: a sparse clock at a high-water width
+// assigns at the cost of its live width, not its peak.
 func (c *Clock) Assign(other *Clock) {
 	if c.shared {
 		// Dropping the storage (rather than truncating it) leaves the
@@ -146,7 +162,7 @@ func (c *Clock) Assign(other *Clock) {
 	if other == nil {
 		c.epochs = c.epochs[:0]
 	} else {
-		c.epochs = append(c.epochs[:0], other.epochs...)
+		c.epochs = append(c.epochs[:0], trimmed(other.epochs)...)
 	}
 	c.gen++
 }
@@ -274,8 +290,20 @@ func (s Snapshot) Len() int {
 	return n
 }
 
+// trimmedLen returns the snapshot's effective width excluding trailing
+// zeros, honouring the owner-epoch override: a snapshot of a sparse clock
+// contributes only up to its highest nonzero entry.
+func (s Snapshot) trimmedLen() int {
+	n := s.Len()
+	for n > 0 && s.Get(TID(n-1)) == 0 {
+		n--
+	}
+	return n
+}
+
 // JoinSnapshot merges a snapshot into c, taking the pointwise maximum: the
-// acquire side of snapshot-published synchronisation.
+// acquire side of snapshot-published synchronisation. Trailing zeros in the
+// snapshot never force c to grow.
 func (c *Clock) JoinSnapshot(s Snapshot) {
 	if s.IsZero() {
 		return
@@ -283,8 +311,12 @@ func (c *Clock) JoinSnapshot(s Snapshot) {
 	if c.shared {
 		c.unshare()
 	}
-	c.grow(s.Len())
+	n := s.trimmedLen()
+	c.grow(n)
 	for i, e := range s.epochs {
+		if i >= n {
+			break
+		}
 		if i == int(s.tid) {
 			continue
 		}
@@ -292,7 +324,7 @@ func (c *Clock) JoinSnapshot(s Snapshot) {
 			c.epochs[i] = e
 		}
 	}
-	if s.tid >= 0 && s.epoch > c.epochs[s.tid] {
+	if s.tid >= 0 && int(s.tid) < n && s.epoch > c.epochs[s.tid] {
 		c.epochs[s.tid] = s.epoch
 	}
 	c.gen++
@@ -301,10 +333,12 @@ func (c *Clock) JoinSnapshot(s Snapshot) {
 // MergeSnapshots returns the pointwise maximum of two snapshots as a new
 // materialised snapshot (owned storage, no override). Used when an RMW
 // continues a release sequence: its release clock is the join of its own
-// release with the replaced store's.
+// release with the replaced store's. The result is sized to the wider
+// snapshot's trimmed width, so merging two sparse snapshots at a high-water
+// peak allocates O(live width), not O(peak).
 func MergeSnapshots(a, b Snapshot) Snapshot {
-	n := a.Len()
-	if bl := b.Len(); bl > n {
+	n := a.trimmedLen()
+	if bl := b.trimmedLen(); bl > n {
 		n = bl
 	}
 	es := make([]Epoch, n)
